@@ -1,0 +1,40 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+All benches share one :class:`ExperimentRunner` so common runs (the
+4-GPU baseline, full IDYLL, …) are simulated once per session.  Trace
+sizes come from REPRO_LANES / REPRO_ACCESSES (defaults 4 / 1200).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+reproduced rows next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import default_runner
+from repro.metrics.report import format_series, mean
+from repro.workloads.suite import APP_ORDER
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return default_runner()
+
+
+def run_once(benchmark, fn, *args):
+    """Benchmark a figure function with a single measured round."""
+    return benchmark.pedantic(fn, args=args, rounds=1, iterations=1)
+
+
+def show(title: str, series, apps=None, paper_note: str = ""):
+    """Print the figure's series in the paper's layout."""
+    apps = apps or APP_ORDER
+    print()
+    print(format_series(title, series, apps))
+    if paper_note:
+        print(f"paper: {paper_note}")
+
+
+def series_mean(series_values) -> float:
+    return mean(list(series_values.values()))

@@ -1,0 +1,31 @@
+"""Fig. 1: fraction of execution time spent handling PTE invalidations
+(2-GPU system, hardware-study subset MT MM PR ST SC KM).
+
+Paper: average ~42 %, with high-sharing apps (PR, ST) highest.  Our
+trace-driven substitute measures the fraction of execution time during
+which at least one invalidation request is being handled by a GMMU.
+The absolute level is attenuated at trace scale; the property that the
+overhead is substantial for sharing-heavy apps and small for low-sharing
+ones must hold.
+"""
+
+from repro.experiments.figures import fig01_invalidation_overhead
+from repro.workloads.suite import FIG1_APPS
+
+from conftest import run_once, series_mean, show
+
+
+def test_fig01_invalidation_overhead(benchmark, runner):
+    series = run_once(benchmark, fig01_invalidation_overhead, runner)
+    show(
+        "Fig. 1 — invalidation handling time / execution time (2 GPUs)",
+        series,
+        apps=FIG1_APPS,
+        paper_note="average ~42% of execution time",
+    )
+    overhead = series["invalidation_overhead"]
+    assert all(0.0 <= v < 1.0 for v in overhead.values())
+    # Invalidation handling is a visible fraction of time on average.
+    assert series_mean(overhead) > 0.01
+    # Sharing-heavy PR spends more time on invalidations than SC.
+    assert overhead["PR"] > overhead["SC"]

@@ -1,0 +1,35 @@
+"""Fig. 2: migration-policy study, normalised to access-counter-based
+migration (the baseline policy of NVIDIA A100s).
+
+Paper: zero-latency invalidation gives 1.38x-2.92x (avg 1.73x); on-touch
+and first-touch generally perform *worse* than counter-based migration.
+
+Reproduced shape: zero-latency invalidation clearly above 1 on
+sharing-heavy apps; on-touch below 1 (ping-pong).  Known scale artifact
+(documented in EXPERIMENTS.md): with the scaled-down counter threshold,
+migrations amortise over far fewer subsequent accesses than in the
+paper's full-length runs, so first-touch — which avoids migrations
+entirely — can come out ahead here.
+"""
+
+from repro.experiments.figures import fig02_migration_policies
+
+from conftest import run_once, series_mean, show
+
+
+def test_fig02_migration_policies(benchmark, runner):
+    series = run_once(benchmark, fig02_migration_policies, runner)
+    show(
+        "Fig. 2 — policies relative to access-counter migration",
+        series,
+        paper_note="zero-latency-invalidation avg 1.73x; on-touch/first-touch below baseline",
+    )
+    zero = series["zero-latency-invalidation"]
+    on_touch = series["on-touch"]
+
+    # Eliminating invalidation overheads helps on average...
+    assert series_mean(zero) > 1.0
+    # ...and noticeably on the sharing-heavy applications.
+    assert zero["PR"] > 1.1
+    # On-touch ping-pong migration loses to counter-based migration.
+    assert series_mean(on_touch) < 1.0

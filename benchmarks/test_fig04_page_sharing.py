@@ -1,0 +1,30 @@
+"""Fig. 4: distribution of accesses referencing shared pages.
+
+Paper: MM, PR, KM access pages shared by (almost) all 4 GPUs; MT, C2D,
+BS concentrate on pages shared by 2 GPUs.
+"""
+
+from repro.experiments.figures import fig04_page_sharing
+
+from conftest import run_once, show
+
+
+def test_fig04_page_sharing(benchmark, runner):
+    series = run_once(benchmark, fig04_page_sharing, runner)
+    show(
+        "Fig. 4 — fraction of accesses to pages shared by k GPUs",
+        series,
+        paper_note="MM/PR/KM dominated by 4-GPU sharing; MT/C2D/BS by 2-GPU",
+    )
+
+    for app in ("MM", "PR", "KM"):
+        total = sum(series[f"shared_by_{k}"][app] for k in range(1, 5))
+        assert abs(total - 1.0) < 1e-9
+    # Sharing-by-all dominates the high-sharing applications.
+    for app in ("MM", "PR", "KM"):
+        shared = sum(series[f"shared_by_{k}"][app] for k in (2, 3, 4))
+        assert shared > 0.5, app
+        assert series["shared_by_4"][app] > series["shared_by_4"]["BS"]
+    # MT/BS concentrate on two-GPU sharing relative to four-GPU sharing.
+    for app in ("MT", "BS"):
+        assert series["shared_by_2"][app] > series["shared_by_4"][app], app

@@ -1,0 +1,48 @@
+"""Fig. 5: page-walker request mix — demand TLB misses vs necessary vs
+unnecessary invalidation requests (baseline, broadcast shootdown).
+
+Paper: invalidations are ~27.2 % of walker requests, and ~32 % of all
+invalidations broadcast are unnecessary (sent to GPUs without a valid
+mapping).
+"""
+
+from repro.experiments.figures import fig05_walker_request_mix
+from repro.metrics.report import mean
+
+from conftest import run_once, show
+
+
+def test_fig05_walker_request_mix(benchmark, runner):
+    series = run_once(benchmark, fig05_walker_request_mix, runner)
+    show(
+        "Fig. 5 — walker request mix (fractions)",
+        series,
+        paper_note="invalidations ~27.2% of requests; ~32% of them unnecessary",
+    )
+
+    apps = list(series["tlb_miss"])
+    for app in apps:
+        total = (
+            series["tlb_miss"][app]
+            + series["necessary_inval"][app]
+            + series["unnecessary_inval"][app]
+        )
+        assert abs(total - 1.0) < 1e-9, app
+
+    inval_share = [
+        series["necessary_inval"][a] + series["unnecessary_inval"][a] for a in apps
+    ]
+    # Invalidations are a substantial minority of walker traffic.
+    assert 0.05 < mean(inval_share) < 0.6
+    # Broadcasting makes a visible fraction of them unnecessary.
+    unnecessary_of_inval = [
+        series["unnecessary_inval"][a]
+        / max(1e-12, series["necessary_inval"][a] + series["unnecessary_inval"][a])
+        for a in apps
+        if series["necessary_inval"][a] + series["unnecessary_inval"][a] > 0
+    ]
+    assert mean(unnecessary_of_inval) > 0.1
+    # Sharing-heavy apps have a higher invalidation share than BS.
+    share = dict(zip(apps, inval_share))
+    assert share["PR"] > share["BS"]
+    assert share["KM"] > share["BS"]

@@ -1,0 +1,30 @@
+"""Fig. 6: demand TLB miss latency when invalidation contention is
+removed (zero-latency invalidation), normalised to baseline.
+
+Paper: removing invalidations cuts demand TLB miss latency by ~55.8 %
+on average (relative latency ~0.44), with actual baseline latencies in
+the hundreds-to-~2000-cycle range.
+"""
+
+from repro.experiments.figures import fig06_demand_latency_no_inval
+from repro.metrics.report import mean
+
+from conftest import run_once, show
+
+
+def test_fig06_demand_latency(benchmark, runner):
+    series = run_once(benchmark, fig06_demand_latency_no_inval, runner)
+    show(
+        "Fig. 6 — demand miss latency without invalidations (relative + cycles)",
+        series,
+        paper_note="average reduction 55.8% (relative ~0.44)",
+    )
+    rel = series["relative_latency"]
+    # Removing invalidation contention never helps by accident only:
+    # on average demand misses get faster.
+    assert mean(list(rel.values())) < 1.0
+    # Sharing-heavy applications see a real reduction.
+    assert rel["PR"] < 0.97
+    # Actual cycle counts are in a plausible hardware range.
+    for cycles in series["baseline_cycles"].values():
+        assert 100 < cycles < 50000

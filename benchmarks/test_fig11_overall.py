@@ -1,0 +1,47 @@
+"""Fig. 11: the headline result — Only-Lazy, Only-In-PTE, IDYLL-InMem,
+IDYLL, and zero-latency invalidation, normalised to the baseline.
+
+Paper averages: Only-In-PTE +27.3 %, Only-Lazy +55.8 %, IDYLL +69.9 %,
+IDYLL-InMem ~+70 %, zero-latency ~+73 %; PR peaks at 2.67x.
+
+Reproduced shape (attenuated magnitudes, see EXPERIMENTS.md): IDYLL
+beats the baseline and beats-or-matches each mechanism alone; zero-
+latency is the rough ceiling; IDYLL-InMem tracks IDYLL; sharing-heavy
+apps (PR, KM, IM, MM, MT) gain the most.
+"""
+
+from repro.experiments.figures import fig11_overall_performance
+from repro.metrics.report import mean
+
+from conftest import run_once, series_mean, show
+
+
+def test_fig11_overall(benchmark, runner):
+    series = run_once(benchmark, fig11_overall_performance, runner)
+    show(
+        "Fig. 11 — normalised performance vs baseline",
+        series,
+        paper_note="avg: in-PTE 1.27, lazy 1.56, InMem 1.70, IDYLL 1.70, zero 1.73",
+    )
+    idyll = series_mean(series["idyll"])
+    lazy = series_mean(series["only_lazy"])
+    in_pte = series_mean(series["only_in_pte"])
+    inmem = series_mean(series["idyll_inmem"])
+    zero = series_mean(series["zero_latency"])
+
+    # IDYLL improves on the baseline on average...
+    assert idyll > 1.03
+    # ...and on every sharing-heavy application individually.
+    for app in ("PR", "KM", "IM"):
+        assert series["idyll"][app] > 1.05, (app, series["idyll"])
+    # IDYLL combines the two mechanisms: at least as good as each alone.
+    assert idyll >= lazy - 0.02
+    assert idyll >= in_pte - 0.02
+    # Zero-latency invalidation is the (approximate) ceiling.
+    assert zero >= idyll - 0.05
+    # The in-memory directory variant tracks the in-PTE design (§7.1).
+    assert abs(inmem - idyll) < 0.15
+    # PR is among the biggest winners (paper: 2.67x, the suite maximum).
+    assert series["idyll"]["PR"] >= max(
+        v for a, v in series["idyll"].items() if a != "PR"
+    ) - 0.12

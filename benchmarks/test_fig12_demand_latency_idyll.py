@@ -1,0 +1,27 @@
+"""Fig. 12: total demand TLB miss latency under IDYLL, relative to the
+baseline (lower is better).
+
+Paper: ~60 % reduction on average; PR and IM drop to ~25 % of baseline.
+"""
+
+from repro.experiments.figures import fig12_demand_latency_idyll
+from repro.metrics.report import mean
+
+from conftest import run_once, show
+
+
+def test_fig12_demand_latency_idyll(benchmark, runner):
+    series = run_once(benchmark, fig12_demand_latency_idyll, runner)
+    show(
+        "Fig. 12 — demand TLB miss total latency, IDYLL / baseline",
+        series,
+        paper_note="average relative latency ~0.40 (60% reduction)",
+    )
+    rel = series["relative_latency"]
+    # IDYLL reduces total demand miss latency on average.
+    assert mean(list(rel.values())) < 1.0
+    # The biggest overall winners see the biggest latency cuts.
+    assert rel["PR"] < 0.9
+    assert rel["IM"] < 0.9
+    # Reductions translate to (not exceed) plausible bounds.
+    assert all(v > 0.05 for v in rel.values())

@@ -1,0 +1,30 @@
+"""Fig. 15: IDYLL sensitivity to IRMB geometry (bases, offsets).
+
+Paper: (16,8) loses ~25 points vs the default (32,16); (64,16) gains
+~7 points; the default is chosen as the sweet spot vs hardware cost.
+"""
+
+from repro.experiments.figures import fig15_irmb_sizes
+
+from conftest import run_once, series_mean, show
+
+
+def test_fig15_irmb_size(benchmark, runner):
+    series = run_once(benchmark, fig15_irmb_sizes, runner)
+    show(
+        "Fig. 15 — IDYLL speedup by IRMB geometry (bases, offsets)",
+        series,
+        paper_note="(16,8) avg 1.45 < (32,16) avg 1.70 < (64,16) avg 1.77",
+    )
+    small = series_mean(series["(16,8)"])
+    default = series_mean(series["(32,16)"])
+    big = series_mean(series["(64,16)"])
+
+    # All geometries still beat the baseline on average.
+    assert small > 0.98
+    # Bigger IRMBs never hurt on average; the ordering small <= default
+    # <= big holds within noise.
+    assert default >= small - 0.03
+    assert big >= default - 0.03
+    # The gap between the extremes is visible.
+    assert big >= small

@@ -1,0 +1,30 @@
+"""Fig. 18: IDYLL on 8- and 16-GPU systems (same input size, so more
+GPUs = more sharing = more invalidations).
+
+Paper: +75.3 % (8 GPUs) and +79.1 % (16 GPUs) — the benefit grows with
+system size, though sub-linearly (hash aliasing on the directory bits).
+"""
+
+from repro.experiments.figures import fig18_gpu_scaling
+
+from conftest import run_once, series_mean, show
+
+
+def test_fig18_gpu_count(benchmark, runner):
+    series = run_once(benchmark, fig18_gpu_scaling, runner)
+    show(
+        "Fig. 18 — IDYLL speedup on 8 / 16 GPUs",
+        series,
+        paper_note="avg +75.3% (8 GPUs), +79.1% (16 GPUs)",
+    )
+    eight = series_mean(series["8_gpus"])
+    sixteen = series_mean(series["16_gpus"])
+
+    # IDYLL keeps delivering as the system scales.
+    assert eight > 1.0
+    assert sixteen > 1.0
+    # The benefit does not collapse with more GPUs.  (The paper's *growth*
+    # from 8 to 16 is not fully reproduced: our 16-GPU traces are tapered
+    # to stay tractable, which also shrinks per-GPU sharing intensity —
+    # see EXPERIMENTS.md.)
+    assert sixteen > eight - 0.15

@@ -1,0 +1,33 @@
+"""Fig. 22: IDYLL (with counter migration) normalised to page
+replication.
+
+Paper: +25.0 % on average.  Replication nearly eliminates invalidations
+for read-intensive apps (PR, ST, SC — small IDYLL edge there), but
+write collapses make it lose on write-intensive IM and C2D.
+"""
+
+from repro.experiments.figures import fig22_page_replication
+from repro.metrics.report import mean
+
+from conftest import run_once, series_mean, show
+
+
+def test_fig22_replication(benchmark, runner):
+    series = run_once(benchmark, fig22_page_replication, runner)
+    show(
+        "Fig. 22 — IDYLL relative to page replication",
+        series,
+        paper_note="avg +25%; biggest wins on write-intensive IM / C2D",
+    )
+    rel = series["idyll_vs_replication"]
+    # Replication is a strong comparator.  KNOWN SCALE ARTIFACT (see
+    # EXPERIMENTS.md): at the scaled-down counter threshold, migrations
+    # amortise over few accesses, so the migration-free replication
+    # policy is stronger here than in the paper and IDYLL's +25% average
+    # edge is not reproduced.  What does hold: IDYLL stays competitive
+    # everywhere (no collapse), and for the read-intensive apps the two
+    # approaches are close (paper: "less room for optimization" there).
+    assert all(v > 0.5 for v in rel.values())
+    assert mean(list(rel.values())) > 0.8
+    read_heavy = mean([rel["PR"], rel["ST"], rel["SC"]])
+    assert read_heavy > 0.8

@@ -1,0 +1,29 @@
+"""Fig. 23: comparison and combination with Trans-FW (HPCA'23).
+
+Paper: Trans-FW alone +30 %; IDYLL +69.9 %; IDYLL+Trans-FW +86.3 % —
+they are complementary (Trans-FW expedites far faults, IDYLL removes
+invalidation contention), though not fully orthogonal.
+"""
+
+from repro.experiments.figures import fig23_transfw
+
+from conftest import run_once, series_mean, show
+
+
+def test_fig23_transfw(benchmark, runner):
+    series = run_once(benchmark, fig23_transfw, runner)
+    show(
+        "Fig. 23 — Trans-FW / IDYLL / IDYLL+Trans-FW vs baseline",
+        series,
+        paper_note="avg: Trans-FW 1.30, IDYLL 1.70, combined 1.86",
+    )
+    transfw = series_mean(series["trans_fw"])
+    idyll = series_mean(series["idyll"])
+    combined = series_mean(series["idyll_trans_fw"])
+
+    # Trans-FW alone helps (it shortcuts far faults)...
+    assert transfw > 0.99
+    # ...but IDYLL, which attacks invalidations, helps more.
+    assert idyll > transfw - 0.02
+    # Combining them is at least as good as IDYLL alone.
+    assert combined >= idyll - 0.03

@@ -1,0 +1,25 @@
+"""Fig. 24: IDYLL on real DNN workloads — layer-parallel VGG16 and
+ResNet18 training (Tiny-ImageNet-scale, shrunk traces).
+
+Paper: +15.9 % (VGG16) and +12.0 % (ResNet18) — boundary-activation and
+weight sharing cause the migrations IDYLL optimises, though far fewer
+than the kernel suite.
+"""
+
+from repro.experiments.figures import fig24_dnn
+
+from conftest import run_once, show
+
+
+def test_fig24_dnn(benchmark, runner):
+    series = run_once(benchmark, fig24_dnn, runner)
+    show(
+        "Fig. 24 — IDYLL on DNN training",
+        series,
+        apps=["VGG16", "ResNet18"],
+        paper_note="+15.9% VGG16, +12.0% ResNet18",
+    )
+    # DNN sharing is milder than the kernel suite: modest but non-
+    # negative improvements.
+    assert series["idyll"]["VGG16"] > 0.97
+    assert series["idyll"]["ResNet18"] > 0.97

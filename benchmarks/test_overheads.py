@@ -1,0 +1,30 @@
+"""§6.3 / §6.4 hardware-overhead claims (the paper's CACTI-backed
+numbers, reproduced with the analytical area model)."""
+
+from repro.config import IRMBConfig, TLBConfig, VMCacheConfig
+from repro.core.area import area_report, vm_table_footprint_fraction
+from repro.experiments.runner import default_runner
+
+
+def compute_report():
+    report = area_report(IRMBConfig(), TLBConfig(512, 16, 10), VMCacheConfig())
+    runner = default_runner()
+    footprint = runner.workload("PR").footprint_bytes()
+    return report, vm_table_footprint_fraction(footprint)
+
+
+def test_overheads(benchmark):
+    report, vm_frac = benchmark.pedantic(compute_report, rounds=1, iterations=1)
+    print()
+    print("== §6.3/§6.4 hardware overheads ==")
+    print(f"IRMB size:            {report.irmb_bytes:.0f} B   (paper: 720 B)")
+    print(f"IRMB vs L2 TLB area:  {report.irmb_vs_l2_tlb:.4f} (paper: ~0.009)")
+    print(f"VM-Cache size:        {report.vm_cache_bytes:.0f} B   (paper: 480 B)")
+    print(f"VM-Cache vs CPU L1:   {report.vm_cache_vs_cpu_l1:.5f} (paper: ~0.0004)")
+    print(f"VM-Table / footprint: {vm_frac:.5f} (paper: ~0.002)")
+
+    assert report.irmb_bytes == 720.0
+    assert report.vm_cache_bytes == 480.0
+    assert report.irmb_vs_l2_tlb < 0.05
+    assert report.vm_cache_vs_cpu_l1 < 0.005
+    assert vm_frac < 0.005

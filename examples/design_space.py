@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the public API: sweep the IRMB
+geometry and the directory implementation for one application, the way
+an architect would size IDYLL for a new chip.
+
+Reproduces the flavour of the paper's Figs. 11 and 15 on a single
+workload, and prints the hardware cost of each point from the
+analytical area model (§6.3).
+
+Run:  python examples/design_space.py [APP]      (default: KM)
+"""
+
+import sys
+from dataclasses import replace
+
+from repro import (
+    DirectoryKind,
+    InvalidationScheme,
+    MultiGPUSystem,
+    baseline_config,
+    build_workload,
+)
+from repro.config import IRMBConfig
+from repro.core.area import irmb_bytes
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "KM"
+    workload = build_workload(app, num_gpus=4, lanes=4, accesses_per_lane=800)
+    base_cfg = baseline_config(num_gpus=4)
+    baseline = MultiGPUSystem(base_cfg).run(workload)
+    print(f"{app}: baseline execution time {baseline.exec_time:,} cycles\n")
+
+    print("IRMB geometry sweep (full IDYLL):")
+    print(f"  {'(bases, offsets)':<18} {'bytes':>6} {'speedup':>8} {'evictions':>10}")
+    for bases, offsets in [(16, 8), (16, 16), (32, 8), (32, 16), (64, 16)]:
+        cfg = base_cfg.with_scheme(InvalidationScheme.IDYLL).with_irmb(bases, offsets)
+        result = MultiGPUSystem(cfg).run(workload)
+        size = irmb_bytes(IRMBConfig(bases=bases, offsets_per_base=offsets))
+        marker = "  <- paper default" if (bases, offsets) == (32, 16) else ""
+        print(
+            f"  ({bases:>3},{offsets:>3})         {size:>6.0f} "
+            f"{result.speedup_over(baseline):>8.2f} {result.irmb_evictions:>10}{marker}"
+        )
+
+    print("\nDirectory implementation (32x16 IRMB):")
+    for kind in DirectoryKind:
+        cfg = replace(
+            base_cfg.with_scheme(InvalidationScheme.IDYLL), directory_kind=kind
+        )
+        result = MultiGPUSystem(cfg).run(workload)
+        extra = ""
+        if kind is DirectoryKind.IN_MEMORY:
+            extra = f"  (VM-Cache hit rate {result.vm_cache_hit_rate:.0%})"
+        print(f"  {kind.value:<12} speedup {result.speedup_over(baseline):.2f}{extra}")
+
+
+if __name__ == "__main__":
+    main()

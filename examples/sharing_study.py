@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Characterisation study (the paper's §5): page sharing, walker request
+mix, and migration-waiting breakdown for the full application suite.
+
+This reproduces the paper's Figs. 4, 5 and 7 in one pass, using the
+shared experiment runner so each (app, config) is simulated once.
+
+Run:  python examples/sharing_study.py            # default scale
+      REPRO_ACCESSES=600 python examples/sharing_study.py   # faster
+"""
+
+from repro.experiments import (
+    fig04_page_sharing,
+    fig05_walker_request_mix,
+    fig07_migration_waiting_share,
+)
+from repro.experiments.runner import ExperimentRunner
+from repro.metrics.report import format_series
+from repro.workloads.suite import APP_ORDER
+
+
+def main() -> None:
+    runner = ExperimentRunner()
+
+    sharing = fig04_page_sharing(runner)
+    print(format_series(
+        "Fig. 4 — fraction of accesses to pages shared by k GPUs",
+        sharing, APP_ORDER,
+    ))
+    print()
+
+    mix = fig05_walker_request_mix(runner)
+    print(format_series(
+        "Fig. 5 — page-walker request mix (demand vs invalidations)",
+        mix, APP_ORDER,
+    ))
+    inval_share = [
+        mix["necessary_inval"][a] + mix["unnecessary_inval"][a] for a in APP_ORDER
+    ]
+    print(f"\ninvalidation share of walker requests: avg "
+          f"{sum(inval_share) / len(inval_share):.1%} (paper: 27.2%)")
+    unnecessary = [
+        mix["unnecessary_inval"][a]
+        / max(1e-9, mix["necessary_inval"][a] + mix["unnecessary_inval"][a])
+        for a in APP_ORDER
+        if mix["necessary_inval"][a] + mix["unnecessary_inval"][a] > 0
+    ]
+    print(f"unnecessary fraction of invalidations: avg "
+          f"{sum(unnecessary) / len(unnecessary):.1%} (paper: 32%)")
+    print()
+
+    waiting = fig07_migration_waiting_share(runner)
+    print(format_series(
+        "Fig. 7 — migration waiting share of migration latency",
+        waiting, APP_ORDER,
+    ))
+    shares = [v for v in waiting["waiting_share"].values() if v > 0]
+    if shares:
+        print(f"\nwaiting share: avg {sum(shares) / len(shares):.1%} (paper: 38.3%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-660 editable
+installs (which must build a wheel) fail; this shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` take the legacy
+``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

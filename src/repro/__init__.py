@@ -1,0 +1,35 @@
+"""IDYLL reproduction (MICRO 2023): multi-GPU page translation with
+lightweight PTE invalidations.
+
+Public entry points:
+
+* :class:`repro.config.SystemConfig` / :func:`repro.config.baseline_config`
+* :class:`repro.gpu.MultiGPUSystem` — build and :meth:`run` a system
+* :func:`repro.workloads.build_workload` — the Table-3 applications
+* :mod:`repro.experiments` — one function per paper figure/table
+"""
+
+from .config import (
+    DirectoryKind,
+    InvalidationScheme,
+    MigrationPolicy,
+    SystemConfig,
+    baseline_config,
+)
+from .gpu import MultiGPUSystem
+from .metrics import SimulationResult
+from .workloads import build_dnn_workload, build_workload
+
+__all__ = [
+    "DirectoryKind",
+    "InvalidationScheme",
+    "MigrationPolicy",
+    "SystemConfig",
+    "baseline_config",
+    "MultiGPUSystem",
+    "SimulationResult",
+    "build_dnn_workload",
+    "build_workload",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the application suite, DNN models, and reproducible figures.
+``run APP``
+    Simulate one application on one configuration and print its metrics.
+``compare APP``
+    Run all five invalidation schemes on one application.
+``figure NAME``
+    Regenerate one paper figure (e.g. ``fig11``) and print its series;
+    optionally export to CSV/JSON.
+``trace APP``
+    Generate a workload and save its trace to a JSON file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import asdict
+from typing import List, Optional
+
+from . import experiments
+from .config import InvalidationScheme, MigrationPolicy, baseline_config
+from .experiments.runner import ExperimentRunner
+from .gpu.system import MultiGPUSystem
+from .metrics.export import series_to_csv, series_to_json
+from .metrics.report import format_series, format_table
+from .workloads.dnn import DNN_MODELS
+from .workloads.io import save_workload
+from .workloads.suite import APP_ORDER, APPS
+
+__all__ = ["main"]
+
+#: figure-name → experiments entry point.
+FIGURES = {
+    "table3": experiments.table3_mpki,
+    "fig01": experiments.fig01_invalidation_overhead,
+    "fig02": experiments.fig02_migration_policies,
+    "fig04": experiments.fig04_page_sharing,
+    "fig05": experiments.fig05_walker_request_mix,
+    "fig06": experiments.fig06_demand_latency_no_inval,
+    "fig07": experiments.fig07_migration_waiting_share,
+    "fig11": experiments.fig11_overall_performance,
+    "fig12": experiments.fig12_demand_latency_idyll,
+    "fig13": experiments.fig13_invalidation_requests,
+    "fig14": experiments.fig14_migration_waiting_idyll,
+    "fig15": experiments.fig15_irmb_sizes,
+    "fig16": experiments.fig16_ptw_threads,
+    "fig17": experiments.fig17_l2_tlb_2048,
+    "fig18": experiments.fig18_gpu_scaling,
+    "fig19": experiments.fig19_unused_bits,
+    "fig20": experiments.fig20_counter_threshold,
+    "fig21": experiments.fig21_large_pages,
+    "fig22": experiments.fig22_page_replication,
+    "fig23": experiments.fig23_transfw,
+    "fig24": experiments.fig24_dnn,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="IDYLL (MICRO 2023) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications, models and figures")
+
+    def add_sim_args(p: argparse.ArgumentParser) -> None:
+        """Common simulation sizing flags."""
+        p.add_argument("--gpus", type=int, default=4)
+        p.add_argument("--lanes", type=int, default=4)
+        p.add_argument("--accesses", type=int, default=1200, help="per lane")
+        p.add_argument("--seed", type=int, default=7)
+
+    run = sub.add_parser("run", help="simulate one application")
+    run.add_argument("app", help=f"one of {APP_ORDER} or a DNN model")
+    run.add_argument(
+        "--scheme",
+        choices=[s.value for s in InvalidationScheme],
+        default=InvalidationScheme.BROADCAST.value,
+    )
+    run.add_argument(
+        "--policy",
+        choices=[p.value for p in MigrationPolicy],
+        default=MigrationPolicy.ACCESS_COUNTER.value,
+    )
+    add_sim_args(run)
+
+    compare = sub.add_parser("compare", help="all invalidation schemes on one app")
+    compare.add_argument("app")
+    add_sim_args(compare)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    figure.add_argument("--csv", help="also export the series to a CSV file")
+    figure.add_argument("--json", help="also export the series to a JSON file")
+    figure.add_argument("--lanes", type=int, default=None)
+    figure.add_argument("--accesses", type=int, default=None)
+
+    trace = sub.add_parser("trace", help="generate and save a workload trace")
+    trace.add_argument("app")
+    trace.add_argument("output", help="output JSON path")
+    add_sim_args(trace)
+
+    return parser
+
+
+def _runner_for(args) -> ExperimentRunner:
+    return ExperimentRunner(
+        lanes=getattr(args, "lanes", None),
+        accesses_per_lane=getattr(args, "accesses", None),
+        seed=getattr(args, "seed", None),
+    )
+
+
+def _cmd_list() -> int:
+    rows = [
+        [a.abbr, a.full_name, a.suite, a.pattern, a.paper_mpki] for a in APPS.values()
+    ]
+    print(format_table(
+        "Applications (Table 3)",
+        ["abbr", "name", "suite", "pattern", "paper MPKI"],
+        rows,
+    ))
+    print(f"\nDNN models: {', '.join(sorted(DNN_MODELS))}")
+    print(f"Figures:    {', '.join(sorted(FIGURES))}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    runner = _runner_for(args)
+    config = baseline_config(args.gpus).with_scheme(InvalidationScheme(args.scheme))
+    config = config.with_policy(MigrationPolicy(args.policy))
+    result = runner.run(args.app, config)
+    print(f"{args.app} on {args.gpus} GPUs, scheme={args.scheme}, policy={args.policy}")
+    skip = {"extras", "workload", "scheme", "num_gpus"}
+    for key, value in asdict(result).items():
+        if key in skip:
+            continue
+        if isinstance(value, float):
+            print(f"  {key:<28} {value:.3f}")
+        else:
+            print(f"  {key:<28} {value}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    runner = _runner_for(args)
+    base = runner.run(args.app, baseline_config(args.gpus))
+    rows = []
+    for scheme in InvalidationScheme:
+        result = runner.run(args.app, baseline_config(args.gpus).with_scheme(scheme))
+        rows.append([
+            scheme.value,
+            result.exec_time,
+            result.speedup_over(base),
+            result.invalidations_sent,
+            result.migration_waiting_mean,
+            result.demand_miss_mean_latency,
+        ])
+    print(format_table(
+        f"{args.app}: invalidation schemes on {args.gpus} GPUs",
+        ["scheme", "cycles", "speedup", "invals", "mig wait", "miss lat"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    runner = ExperimentRunner(lanes=args.lanes, accesses_per_lane=args.accesses)
+    series = FIGURES[args.name](runner)
+    apps = sorted({a for values in series.values() for a in values})
+    ordered = [a for a in APP_ORDER if a in apps] + [a for a in apps if a not in APP_ORDER]
+    print(format_series(args.name, series, ordered))
+    if args.csv:
+        series_to_csv(series, args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        series_to_json(series, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    runner = _runner_for(args)
+    workload = runner.workload(args.app, num_gpus=args.gpus)
+    save_workload(workload, args.output)
+    print(
+        f"wrote {args.output}: {workload.total_accesses():,} accesses, "
+        f"{workload.footprint_pages():,} pages"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

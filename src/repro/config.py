@@ -1,0 +1,249 @@
+"""System configuration (Table 2 of the paper) and experiment variants.
+
+All knobs exercised by the evaluation section are fields here, so every
+figure is a pure function of a :class:`SystemConfig` plus a workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+
+__all__ = [
+    "MigrationPolicy",
+    "InvalidationScheme",
+    "DirectoryKind",
+    "TLBConfig",
+    "GMMUConfig",
+    "IRMBConfig",
+    "VMCacheConfig",
+    "TransFWConfig",
+    "InterconnectConfig",
+    "UVMConfig",
+    "SystemConfig",
+    "baseline_config",
+]
+
+
+class MigrationPolicy(str, Enum):
+    """Page migration policies from §3.3."""
+
+    FIRST_TOUCH = "first-touch"
+    ON_TOUCH = "on-touch"
+    ACCESS_COUNTER = "access-counter"
+
+
+class InvalidationScheme(str, Enum):
+    """How PTE shootdowns reach and are applied at each GPU."""
+
+    #: broadcast to all GPUs; eager page-table walks at each (the baseline).
+    BROADCAST = "broadcast"
+    #: invalidations have zero latency and zero contention (ideal, Fig. 2/11).
+    ZERO_LATENCY = "zero-latency"
+    #: eager walks, but filtered by a host-side directory (In-PTE only).
+    DIRECTORY = "directory"
+    #: broadcast, but lazily applied through the IRMB (Lazy only).
+    LAZY = "lazy"
+    #: directory-filtered + IRMB-lazy (full IDYLL).
+    IDYLL = "idyll"
+
+
+class DirectoryKind(str, Enum):
+    """Where IDYLL's residency directory lives (§6.2 vs §6.4)."""
+
+    IN_PTE = "in-pte"
+    IN_MEMORY = "in-memory"
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """One TLB level."""
+
+    entries: int
+    associativity: int
+    lookup_latency: int
+
+    def __post_init__(self) -> None:
+        if self.entries % self.associativity:
+            raise ValueError("TLB entries must be a multiple of associativity")
+
+    @property
+    def sets(self) -> int:
+        return self.entries // self.associativity
+
+
+@dataclass(frozen=True)
+class GMMUConfig:
+    """GPU memory-management unit (Table 2)."""
+
+    walker_threads: int = 8
+    walk_latency_per_level: int = 100
+    walk_cache_entries: int = 128
+    walk_queue_entries: int = 64
+
+
+@dataclass(frozen=True)
+class IRMBConfig:
+    """Invalidation Request Merging Buffer geometry (§6.3)."""
+
+    bases: int = 32
+    offsets_per_base: int = 16
+    #: bits of VPN kept per offset slot (the L1-level index).
+    offset_bits: int = 9
+    #: ablation: disable spatial merging (every VPN gets its own entry).
+    merge_enabled: bool = True
+
+    @property
+    def size_bytes(self) -> float:
+        """§6.3 arithmetic: base is 4×9 bits, each offset 9 bits."""
+        base_bits = 4 * self.offset_bits
+        offset_bits = self.offsets_per_base * self.offset_bits
+        return (base_bits + offset_bits) * self.bases / 8
+
+
+@dataclass(frozen=True)
+class VMCacheConfig:
+    """IDYLL-InMem VM-Cache (§6.4)."""
+
+    entries: int = 64
+    associativity: int = 4
+    lookup_latency: int = 4
+    memory_access_latency: int = 120
+
+    @property
+    def sets(self) -> int:
+        return self.entries // self.associativity
+
+
+@dataclass(frozen=True)
+class TransFWConfig:
+    """Trans-FW comparator (§7.5): fingerprint-based remote forwarding."""
+
+    fingerprints: int = 443
+    false_positive_rate: float = 0.02
+    remote_lookup_latency: int = 100
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Links (Table 2): NVLink-v2 between GPUs, PCIe-v4 to the host."""
+
+    nvlink_bandwidth_gbps: float = 300.0
+    nvlink_latency: int = 200
+    pcie_bandwidth_gbps: float = 32.0
+    pcie_latency: int = 250
+    clock_ghz: float = 1.0
+
+    def nvlink_cycles(self, num_bytes: int) -> int:
+        """Serialisation cycles to push ``num_bytes`` over one NVLink."""
+        return max(1, int(num_bytes / self.nvlink_bandwidth_gbps * self.clock_ghz))
+
+    def pcie_cycles(self, num_bytes: int) -> int:
+        return max(1, int(num_bytes / self.pcie_bandwidth_gbps * self.clock_ghz))
+
+
+@dataclass(frozen=True)
+class UVMConfig:
+    """Host-side UVM driver parameters."""
+
+    fault_batch_size: int = 256
+    #: max cycles the driver waits to fill a batch before servicing it.
+    fault_batch_timeout: int = 50
+    #: host page-table walk latency per fault (host walks are fast, §7.1).
+    host_walk_latency: int = 100
+    #: per-fault fixed driver processing cost.
+    fault_handling_latency: int = 50
+    access_counter_threshold: int = 256
+    #: trace-scale divisor: simulated traces are orders of magnitude
+    #: shorter than the real runs the 256 threshold was tuned for, so the
+    #: *effective* threshold is ``max(1, threshold // divisor)``.  Ratios
+    #: between thresholds (e.g. Fig. 20's 256 vs 512) are preserved.
+    threshold_divisor: int = 128
+
+    @property
+    def effective_threshold(self) -> int:
+        return max(1, self.access_counter_threshold // self.threshold_divisor)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full multi-GPU system configuration (Table 2 defaults)."""
+
+    num_gpus: int = 4
+    cus_per_gpu: int = 64
+    page_size: int = 4096
+    l1_tlb: TLBConfig = field(default_factory=lambda: TLBConfig(32, 32, 1))
+    l2_tlb: TLBConfig = field(default_factory=lambda: TLBConfig(512, 16, 10))
+    gmmu: GMMUConfig = field(default_factory=GMMUConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    uvm: UVMConfig = field(default_factory=UVMConfig)
+    irmb: IRMBConfig = field(default_factory=IRMBConfig)
+    vm_cache: VMCacheConfig = field(default_factory=VMCacheConfig)
+    transfw: TransFWConfig = field(default_factory=TransFWConfig)
+
+    migration_policy: MigrationPolicy = MigrationPolicy.ACCESS_COUNTER
+    invalidation_scheme: InvalidationScheme = InvalidationScheme.BROADCAST
+    directory_kind: DirectoryKind = DirectoryKind.IN_PTE
+    #: host-PTE unused bits available to the in-PTE directory (§6.2: 11).
+    directory_bits: int = 11
+    #: enable read-duplication page replication instead of migration (§7.4).
+    page_replication: bool = False
+    #: enable the Trans-FW far-fault forwarder (§7.5).
+    transfw_enabled: bool = False
+    #: ablation: let demand L2 misses that hit the IRMB bypass the local
+    #: walk and fault directly (§6.3 scenario three).
+    irmb_bypass_enabled: bool = True
+    #: ablation: write buffered invalidations back when a walker is free
+    #: (False = only capacity evictions propagate).
+    lazy_idle_writeback: bool = True
+
+    #: local DRAM access latency (cycles) for data and page-table reads.
+    dram_latency: int = 100
+    #: per-CU in-flight memory request window (latency-hiding depth).
+    inflight_per_cu: int = 32
+    #: per-GPU simulated CUs (trace lanes); scaled-down stand-in for 64 CUs.
+    trace_lanes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if self.page_size & (self.page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        if self.directory_bits < 1:
+            raise ValueError("directory_bits must be >= 1")
+
+    # -- convenience constructors for the evaluation's variants ---------
+
+    def with_scheme(self, scheme: InvalidationScheme) -> "SystemConfig":
+        return replace(self, invalidation_scheme=scheme)
+
+    def with_policy(self, policy: MigrationPolicy) -> "SystemConfig":
+        return replace(self, migration_policy=policy)
+
+    def with_gpus(self, n: int) -> "SystemConfig":
+        return replace(self, num_gpus=n)
+
+    def with_irmb(self, bases: int, offsets: int) -> "SystemConfig":
+        return replace(self, irmb=replace(self.irmb, bases=bases, offsets_per_base=offsets))
+
+    def with_walker_threads(self, n: int) -> "SystemConfig":
+        return replace(self, gmmu=replace(self.gmmu, walker_threads=n))
+
+    def with_l2_tlb(self, entries: int, associativity: int) -> "SystemConfig":
+        return replace(self, l2_tlb=TLBConfig(entries, associativity, self.l2_tlb.lookup_latency))
+
+    def with_threshold(self, threshold: int) -> "SystemConfig":
+        return replace(self, uvm=replace(self.uvm, access_counter_threshold=threshold))
+
+    def with_page_size(self, page_size: int) -> "SystemConfig":
+        return replace(self, page_size=page_size)
+
+    def with_directory_bits(self, bits: int) -> "SystemConfig":
+        return replace(self, directory_bits=bits)
+
+
+def baseline_config(num_gpus: int = 4, **overrides) -> SystemConfig:
+    """The Table-2 baseline: access-counter migration, broadcast shootdown."""
+    return replace(SystemConfig(num_gpus=num_gpus), **overrides) if overrides else SystemConfig(
+        num_gpus=num_gpus
+    )

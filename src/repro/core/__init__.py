@@ -1,0 +1,22 @@
+"""IDYLL: in-PTE directory, IRMB lazy invalidation, InMem variant, Trans-FW."""
+
+from .area import AreaReport, area_report, irmb_bytes, vm_cache_bytes, vm_table_bytes
+from .directory import InPTEDirectory
+from .inmem import VM_TABLE_ACCESS_BITS, VMTableDirectory
+from .irmb import IRMB
+from .lazy import LazyInvalidationController
+from .transfw import TransFW
+
+__all__ = [
+    "AreaReport",
+    "area_report",
+    "irmb_bytes",
+    "vm_cache_bytes",
+    "vm_table_bytes",
+    "InPTEDirectory",
+    "VM_TABLE_ACCESS_BITS",
+    "VMTableDirectory",
+    "IRMB",
+    "LazyInvalidationController",
+    "TransFW",
+]

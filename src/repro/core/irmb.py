@@ -1,0 +1,141 @@
+"""Invalidation Request Merging Buffer (§6.3).
+
+The IRMB buffers incoming PTE-invalidation requests instead of walking
+the page table for each.  Requests whose VPNs share all bits above the
+leaf (L1) index merge into one entry: a 36-bit *base* (the L5–L2 VA
+bits) plus up to 16 nine-bit *offsets* (L1 indices).  Merged entries are
+written back to the page table lazily — in a batch that shares the same
+upper-level page-walk-cache entries.
+
+Geometry (default 32 bases × 16 offsets = 720 bytes) comes from
+:class:`repro.config.IRMBConfig`.
+
+Eviction rules (paper, §6.3):
+
+* base array full → evict the **LRU merged entry** (recently-touched
+  bases likely merge more neighbours soon) and propagate its offsets.
+* offset slots of the matching base full → **evict all offsets of that
+  entry** (propagate them) and insert the new offset into the now-empty
+  entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Set, Tuple
+
+from ..config import IRMBConfig
+from ..memory.address import AddressLayout
+from ..sim.stats import StatsGroup
+
+__all__ = ["IRMB"]
+
+
+class IRMB:
+    """One GPU's invalidation request merging buffer."""
+
+    def __init__(self, config: IRMBConfig, layout: AddressLayout, name: str = "irmb") -> None:
+        self.config = config
+        self.layout = layout
+        self.stats = StatsGroup(name)
+        #: base → set of offsets, in LRU order (least-recent first).
+        self._entries: "OrderedDict[int, Set[int]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        """Number of occupied merged entries (bases)."""
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def pending_vpns(self) -> List[int]:
+        """Every VPN currently buffered (diagnostics/tests)."""
+        out = []
+        for base, offsets in self._entries.items():
+            for off in offsets:
+                out.append(self._vpn(base, off))
+        return out
+
+    def _split(self, vpn: int) -> Tuple[int, int]:
+        if not self.config.merge_enabled:
+            # Ablation: tag on the full VPN so nothing ever merges.
+            return vpn, 0
+        return self.layout.irmb_base(vpn), self.layout.irmb_offset(vpn)
+
+    def _vpn(self, base: int, offset: int) -> int:
+        if not self.config.merge_enabled:
+            return base
+        return (base << 9) | offset
+
+    # -- insertion (invalidation request arrival, §6.3 "a") ----------------
+
+    def insert(self, vpn: int) -> List[int]:
+        """Buffer an invalidation for ``vpn``.
+
+        Returns the list of VPNs whose buffered invalidations must now be
+        propagated to the page table (empty when the request merged or a
+        free entry existed; non-empty on an eviction).
+        """
+        base, offset = self._split(vpn)
+        evicted: List[int] = []
+        entry = self._entries.get(base)
+        if entry is not None:
+            self._entries.move_to_end(base)
+            if offset in entry:
+                self.stats.counter("duplicate_inserts").add()
+                return evicted
+            if len(entry) >= self.config.offsets_per_base:
+                # Offset slots full: flush this entry's offsets, keep the base.
+                evicted = [self._vpn(base, o) for o in sorted(entry)]
+                entry.clear()
+                self.stats.counter("offset_evictions").add()
+            entry.add(offset)
+            self.stats.counter("merged_inserts").add()
+            return evicted
+
+        if len(self._entries) >= self.config.bases:
+            # Base array full: evict the LRU merged entry wholesale.
+            lru_base, lru_offsets = self._entries.popitem(last=False)
+            evicted = [self._vpn(lru_base, o) for o in sorted(lru_offsets)]
+            self.stats.counter("base_evictions").add()
+        self._entries[base] = {offset}
+        self.stats.counter("new_entry_inserts").add()
+        return evicted
+
+    # -- lookup (parallel with the L2 TLB, §6.3 "B") ------------------------
+
+    def lookup(self, vpn: int) -> bool:
+        """Is an invalidation for ``vpn`` pending?  (No LRU update: lookups
+        are probes by demand misses, not invalidation traffic.)"""
+        base, offset = self._split(vpn)
+        entry = self._entries.get(base)
+        hit = entry is not None and offset in entry
+        self.stats.counter("lookup_hits" if hit else "lookup_misses").add()
+        return hit
+
+    # -- removal (a new mapping arrived for this VPN, §6.3) -----------------
+
+    def remove(self, vpn: int) -> bool:
+        """Drop the pending invalidation for ``vpn`` (its PTE is about to
+        be overwritten by a fresh mapping, so no walk is needed)."""
+        base, offset = self._split(vpn)
+        entry = self._entries.get(base)
+        if entry is None or offset not in entry:
+            return False
+        entry.discard(offset)
+        if not entry:
+            del self._entries[base]
+        self.stats.counter("removed_by_new_mapping").add()
+        return True
+
+    # -- lazy writeback (walker idle, §6.3) ----------------------------------
+
+    def pop_lru_entry(self) -> Optional[List[int]]:
+        """Evict the LRU merged entry for an idle-time writeback; returns
+        its VPNs (sharing one base, hence one leaf page-table node)."""
+        if not self._entries:
+            return None
+        base, offsets = self._entries.popitem(last=False)
+        self.stats.counter("idle_writebacks").add()
+        return [self._vpn(base, o) for o in sorted(offsets)]

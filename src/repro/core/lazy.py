@@ -1,0 +1,181 @@
+"""Lazy-invalidation controller: the glue between IRMB and GMMU (§6.3).
+
+Responsibilities:
+
+* accept an invalidation request: the caller shoots down TLBs
+  immediately (the paper keeps baseline TLB shootdown); we insert the
+  VPN into the IRMB and propagate any VPNs the insertion evicted as a
+  *batched* sequence of INVALIDATE walks — they share a base, so after
+  the first walk the rest hit the upper levels of the page-walk cache;
+* opportunistically write back the LRU merged entry whenever a walker
+  is available (idle writeback), so buffered invalidations never
+  contend with demand TLB misses;
+* on a new mapping's arrival, cancel the pending invalidation wherever
+  it is — still merged in the IRMB, queued for propagation, or already
+  in the GMMU — so a stale invalidation can never clobber a fresh PTE.
+
+The controller is fully event-driven: when the IRMB is empty it blocks
+on an insertion event, so a finished simulation drains naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..gmmu.gmmu import GMMU
+from ..gmmu.request import WalkKind, WalkRequest
+from ..sim.engine import AllOf, Engine, Event
+from ..sim.stats import StatsGroup
+from .irmb import IRMB
+
+__all__ = ["LazyInvalidationController"]
+
+
+class LazyInvalidationController:
+    """Drives one GPU's IRMB."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        irmb: IRMB,
+        gmmu: GMMU,
+        name: str = "lazy",
+        idle_writeback: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.irmb = irmb
+        self.gmmu = gmmu
+        self.stats = StatsGroup(name)
+        self._nonempty_waiter: Optional[Event] = None
+        self._stopped = False
+        #: VPNs evicted from the IRMB but whose walk has not started yet.
+        self._queued_for_walk: Set[int] = set()
+        #: VPNs cancelled while queued (fresh mapping raced in).
+        self._cancelled: Set[int] = set()
+        #: invalidation walks in flight (submitted to the GMMU), by VPN.
+        self._inflight_walks: Dict[int, WalkRequest] = {}
+        if idle_writeback:
+            engine.process(self._idle_writeback_loop())
+
+    # -- invalidation arrival ------------------------------------------------
+
+    def accept_invalidation(self, vpn: int) -> None:
+        """Buffer an invalidation; never blocks the requester."""
+        evicted = self.irmb.insert(vpn)
+        self.stats.counter("accepted").add()
+        if evicted:
+            self._queued_for_walk.update(evicted)
+            self.engine.process(self._propagate(evicted))
+        if self._nonempty_waiter is not None:
+            waiter, self._nonempty_waiter = self._nonempty_waiter, None
+            waiter.succeed()
+
+    # -- new mapping arrival ---------------------------------------------------
+
+    def on_new_mapping(self, vpn: int) -> bool:
+        """Cancel the pending invalidation for ``vpn`` — wherever it is —
+        because the caller is about to overwrite the PTE with a fresh
+        mapping via an UPDATE walk."""
+        removed = self.irmb.remove(vpn)
+        if removed:
+            self.stats.counter("cancelled_by_mapping").add()
+        if vpn in self._queued_for_walk:
+            self._cancelled.add(vpn)
+            self.stats.counter("cancelled_queued").add()
+        pending = self._inflight_walks.get(vpn)
+        if pending is not None:
+            pending.aborted = True
+            self.stats.counter("aborted_inflight").add()
+        return removed
+
+    # -- demand-miss probe ------------------------------------------------------
+
+    def probe(self, vpn: int) -> bool:
+        """IRMB lookup in parallel with the L2 TLB: a hit means the local
+        PTE is stale, so the demand miss must bypass the local walk and
+        fault to the host directly."""
+        return self.irmb.lookup(vpn)
+
+    # -- propagation -----------------------------------------------------------
+
+    def _start_walk(self, vpn: int) -> Optional[WalkRequest]:
+        """Submit one INVALIDATE walk unless it was cancelled meanwhile."""
+        self._queued_for_walk.discard(vpn)
+        if vpn in self._cancelled:
+            self._cancelled.discard(vpn)
+            self.stats.counter("skipped_cancelled").add()
+            return None
+        request = self.gmmu.walk(vpn, WalkKind.INVALIDATE)
+        self._inflight_walks[vpn] = request
+        request.done.add_callback(
+            lambda _ev, vpn=vpn, request=request: self._walk_retired(vpn, request)
+        )
+        return request
+
+    def _walk_retired(self, vpn: int, request: WalkRequest) -> None:
+        if self._inflight_walks.get(vpn) is request:
+            del self._inflight_walks[vpn]
+
+    def _propagate(self, vpns: Iterable[int], paced: bool = False):
+        """Batch of INVALIDATE walks for one merged entry.
+
+        Capacity evictions submit the whole batch at once (the paper's
+        forced evictions do contend); idle writebacks run *paced* — one
+        walk at a time, yielding the walker back whenever demand work
+        shows up, so they "neither affect demand TLB miss requests nor
+        page migration" (§6.3).
+        """
+        batch: List[int] = list(vpns)
+        self.stats.counter("propagated_vpns").add(len(batch))
+        self.stats.counter("propagated_batches").add()
+        t0 = self.engine.now
+        if paced:
+            for vpn in batch:
+                request = self._start_walk(vpn)
+                if request is None:
+                    continue
+                yield request.done
+                if not self.gmmu.has_available_walker:
+                    yield self.gmmu.wait_idle()
+        else:
+            events = []
+            for vpn in batch:
+                request = self._start_walk(vpn)
+                if request is not None:
+                    events.append(request.done)
+            yield AllOf(self.engine, events)
+        self.stats.latency("batch_latency").record(self.engine.now - t0)
+
+    def _idle_writeback_loop(self):
+        """Retire the LRU merged entry whenever the walker pool drains."""
+        while not self._stopped:
+            if self.irmb.is_empty:
+                self._nonempty_waiter = self.engine.event()
+                yield self._nonempty_waiter
+                if self._stopped:
+                    return
+            yield self.gmmu.wait_idle()
+            if self._stopped:
+                return
+            if self.irmb.is_empty or not self.gmmu.has_available_walker:
+                continue
+            vpns = self.irmb.pop_lru_entry()
+            if vpns:
+                self.stats.counter("idle_writeback_entries").add()
+                self._queued_for_walk.update(vpns)
+                yield self.engine.process(self._propagate(vpns, paced=True))
+
+    def stop(self) -> None:
+        """Stop the background writeback loop (end of simulation)."""
+        self._stopped = True
+        if self._nonempty_waiter is not None and not self._nonempty_waiter.triggered:
+            waiter, self._nonempty_waiter = self._nonempty_waiter, None
+            waiter.succeed()
+
+    def flush(self):
+        """Force-propagate everything (end-of-run drain); a process body."""
+        while not self.irmb.is_empty:
+            vpns = self.irmb.pop_lru_entry()
+            if vpns:
+                self._queued_for_walk.update(vpns)
+                yield self.engine.process(self._propagate(vpns))

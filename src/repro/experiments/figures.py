@@ -1,0 +1,416 @@
+"""One entry point per table/figure of the paper's evaluation.
+
+Every function returns plain dictionaries shaped like the figure's
+series — ``{series_label: {app: value}}`` — so the benches can both
+print the rows the paper plots and assert the reproduced *shape* (who
+wins, roughly by how much, where the crossovers are).
+
+The workload set and x-axis order follow the paper exactly
+(:data:`repro.workloads.APP_ORDER`); Fig. 1 uses the six-app hardware
+subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from ..config import (
+    DirectoryKind,
+    InvalidationScheme,
+    MigrationPolicy,
+    SystemConfig,
+    baseline_config,
+)
+from ..workloads.suite import APP_ORDER, APPS, FIG1_APPS
+from .runner import ExperimentRunner, default_runner
+
+__all__ = [
+    "table3_mpki",
+    "fig01_invalidation_overhead",
+    "fig02_migration_policies",
+    "fig04_page_sharing",
+    "fig05_walker_request_mix",
+    "fig06_demand_latency_no_inval",
+    "fig07_migration_waiting_share",
+    "fig11_overall_performance",
+    "fig12_demand_latency_idyll",
+    "fig13_invalidation_requests",
+    "fig14_migration_waiting_idyll",
+    "fig15_irmb_sizes",
+    "fig16_ptw_threads",
+    "fig17_l2_tlb_2048",
+    "fig18_gpu_scaling",
+    "fig19_unused_bits",
+    "fig20_counter_threshold",
+    "fig21_large_pages",
+    "fig22_page_replication",
+    "fig23_transfw",
+    "fig24_dnn",
+]
+
+Series = Dict[str, Dict[str, float]]
+
+
+def _runner(runner: Optional[ExperimentRunner]) -> ExperimentRunner:
+    return runner if runner is not None else default_runner()
+
+
+def _baseline(num_gpus: int = 4) -> SystemConfig:
+    return baseline_config(num_gpus=num_gpus)
+
+
+def _idyll(num_gpus: int = 4) -> SystemConfig:
+    return baseline_config(num_gpus=num_gpus).with_scheme(InvalidationScheme.IDYLL)
+
+
+# ---------------------------------------------------------------------------
+# Table 3
+# ---------------------------------------------------------------------------
+
+
+def table3_mpki(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Measured vs paper L2-TLB MPKI for the nine applications."""
+    runner = _runner(runner)
+    measured, paper = {}, {}
+    for app in APP_ORDER:
+        result = runner.run(app, _baseline())
+        measured[app] = result.mpki
+        paper[app] = APPS[app].paper_mpki
+    return {"measured": measured, "paper": paper}
+
+
+# ---------------------------------------------------------------------------
+# Motivation (Figs. 1, 2)
+# ---------------------------------------------------------------------------
+
+
+def fig01_invalidation_overhead(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 1: fraction of execution time spent handling page-table
+    invalidations, on the 2-GPU configuration the hardware study used."""
+    runner = _runner(runner)
+    overhead = {}
+    for app in FIG1_APPS:
+        result = runner.run(app, _baseline(num_gpus=2))
+        overhead[app] = result.inval_busy_fraction
+    return {"invalidation_overhead": overhead}
+
+
+def fig02_migration_policies(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 2: first-touch / on-touch / zero-latency-invalidation,
+    normalised to access-counter-based migration."""
+    runner = _runner(runner)
+    series: Series = {"first-touch": {}, "on-touch": {}, "zero-latency-invalidation": {}}
+    for app in APP_ORDER:
+        base = runner.run(app, _baseline())
+        series["first-touch"][app] = runner.run(
+            app, _baseline().with_policy(MigrationPolicy.FIRST_TOUCH)
+        ).speedup_over(base)
+        series["on-touch"][app] = runner.run(
+            app, _baseline().with_policy(MigrationPolicy.ON_TOUCH)
+        ).speedup_over(base)
+        series["zero-latency-invalidation"][app] = runner.run(
+            app, _baseline().with_scheme(InvalidationScheme.ZERO_LATENCY)
+        ).speedup_over(base)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Characterisation (Figs. 4-7)
+# ---------------------------------------------------------------------------
+
+
+def fig04_page_sharing(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 4: fraction of accesses to pages shared by k GPUs."""
+    runner = _runner(runner)
+    series: Series = {f"shared_by_{k}": {} for k in range(1, 5)}
+    for app in APP_ORDER:
+        dist = runner.workload(app).sharing_distribution()
+        for k in range(1, 5):
+            series[f"shared_by_{k}"][app] = dist.get(k, 0.0)
+    return series
+
+
+def fig05_walker_request_mix(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 5: page-walker request mix — demand TLB misses vs necessary
+    vs unnecessary invalidation requests (baseline broadcast)."""
+    runner = _runner(runner)
+    series: Series = {"tlb_miss": {}, "necessary_inval": {}, "unnecessary_inval": {}}
+    for app in APP_ORDER:
+        result = runner.run(app, _baseline())
+        demand = result.demand_walks
+        necessary = result.inval_received_necessary
+        unnecessary = result.inval_received_unnecessary
+        total = demand + necessary + unnecessary
+        if total == 0:
+            total = 1
+        series["tlb_miss"][app] = demand / total
+        series["necessary_inval"][app] = necessary / total
+        series["unnecessary_inval"][app] = unnecessary / total
+    return series
+
+
+def fig06_demand_latency_no_inval(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 6: demand TLB miss latency with invalidation contention
+    removed (zero-latency), normalised to baseline, plus actual cycles."""
+    runner = _runner(runner)
+    series: Series = {"relative_latency": {}, "baseline_cycles": {}, "ideal_cycles": {}}
+    for app in APP_ORDER:
+        base = runner.run(app, _baseline())
+        ideal = runner.run(app, _baseline().with_scheme(InvalidationScheme.ZERO_LATENCY))
+        rel = (
+            ideal.demand_miss_mean_latency / base.demand_miss_mean_latency
+            if base.demand_miss_mean_latency
+            else 1.0
+        )
+        series["relative_latency"][app] = rel
+        series["baseline_cycles"][app] = base.demand_miss_mean_latency
+        series["ideal_cycles"][app] = ideal.demand_miss_mean_latency
+    return series
+
+
+def fig07_migration_waiting_share(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 7: migration waiting latency as a share of total migration
+    latency, plus the actual mean cycles of both."""
+    runner = _runner(runner)
+    series: Series = {"waiting_share": {}, "migration_cycles": {}, "waiting_cycles": {}}
+    for app in APP_ORDER:
+        result = runner.run(app, _baseline())
+        total = result.migration_total_mean
+        waiting = result.migration_waiting_mean
+        series["waiting_share"][app] = waiting / total if total else 0.0
+        series["migration_cycles"][app] = total
+        series["waiting_cycles"][app] = waiting
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Main results (Figs. 11-14)
+# ---------------------------------------------------------------------------
+
+
+def fig11_overall_performance(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 11: Only-Lazy, Only-In-PTE, IDYLL-InMem, IDYLL, and
+    zero-latency invalidation, all normalised to the baseline."""
+    runner = _runner(runner)
+    variants = {
+        "only_lazy": _baseline().with_scheme(InvalidationScheme.LAZY),
+        "only_in_pte": _baseline().with_scheme(InvalidationScheme.DIRECTORY),
+        "idyll_inmem": replace(
+            _idyll(), directory_kind=DirectoryKind.IN_MEMORY
+        ),
+        "idyll": _idyll(),
+        "zero_latency": _baseline().with_scheme(InvalidationScheme.ZERO_LATENCY),
+    }
+    series: Series = {label: {} for label in variants}
+    for app in APP_ORDER:
+        base = runner.run(app, _baseline())
+        for label, config in variants.items():
+            series[label][app] = runner.run(app, config).speedup_over(base)
+    return series
+
+
+def fig12_demand_latency_idyll(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 12: total demand TLB miss latency, IDYLL / baseline."""
+    runner = _runner(runner)
+    series: Series = {"relative_latency": {}}
+    for app in APP_ORDER:
+        base = runner.run(app, _baseline())
+        idyll = runner.run(app, _idyll())
+        series["relative_latency"][app] = (
+            idyll.demand_miss_total_latency / base.demand_miss_total_latency
+            if base.demand_miss_total_latency
+            else 1.0
+        )
+    return series
+
+
+def fig13_invalidation_requests(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 13: total invalidation latency and request count, IDYLL
+    relative to baseline."""
+    runner = _runner(runner)
+    series: Series = {"relative_latency": {}, "relative_count": {}}
+    for app in APP_ORDER:
+        base = runner.run(app, _baseline())
+        idyll = runner.run(app, _idyll())
+        series["relative_count"][app] = (
+            idyll.invalidations_sent / base.invalidations_sent
+            if base.invalidations_sent
+            else 1.0
+        )
+        series["relative_latency"][app] = (
+            idyll.inval_walk_total_latency / base.inval_walk_total_latency
+            if base.inval_walk_total_latency
+            else 1.0
+        )
+    return series
+
+
+def fig14_migration_waiting_idyll(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 14: total page-migration waiting latency, IDYLL / baseline."""
+    runner = _runner(runner)
+    series: Series = {"relative_waiting": {}}
+    for app in APP_ORDER:
+        base = runner.run(app, _baseline())
+        idyll = runner.run(app, _idyll())
+        series["relative_waiting"][app] = (
+            idyll.migration_waiting_total / base.migration_waiting_total
+            if base.migration_waiting_total
+            else 1.0
+        )
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Sensitivity (Figs. 15-20)
+# ---------------------------------------------------------------------------
+
+
+def fig15_irmb_sizes(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 15: IDYLL speedup under IRMB geometries (bases, offsets)."""
+    runner = _runner(runner)
+    geometries = [(16, 8), (16, 16), (32, 8), (32, 16), (64, 16)]
+    series: Series = {f"({b},{o})": {} for b, o in geometries}
+    for app in APP_ORDER:
+        base = runner.run(app, _baseline())
+        for b, o in geometries:
+            config = _idyll().with_irmb(b, o)
+            series[f"({b},{o})"][app] = runner.run(app, config).speedup_over(base)
+    return series
+
+
+def fig16_ptw_threads(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 16: IDYLL with 16 / 32 walker threads, normalised to the
+    baseline with the *same* thread count."""
+    runner = _runner(runner)
+    series: Series = {"16_threads": {}, "32_threads": {}}
+    for app in APP_ORDER:
+        for threads, label in [(16, "16_threads"), (32, "32_threads")]:
+            base = runner.run(app, _baseline().with_walker_threads(threads))
+            idyll = runner.run(app, _idyll().with_walker_threads(threads))
+            series[label][app] = idyll.speedup_over(base)
+    return series
+
+
+def fig17_l2_tlb_2048(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 17: IDYLL with a 2048-entry, 64-way L2 TLB."""
+    runner = _runner(runner)
+    series: Series = {"2048_entry": {}}
+    for app in APP_ORDER:
+        base = runner.run(app, _baseline().with_l2_tlb(2048, 64))
+        idyll = runner.run(app, _idyll().with_l2_tlb(2048, 64))
+        series["2048_entry"][app] = idyll.speedup_over(base)
+    return series
+
+
+def fig18_gpu_scaling(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 18: IDYLL on 8- and 16-GPU systems, each normalised to the
+    same-size baseline."""
+    runner = _runner(runner)
+    series: Series = {"8_gpus": {}, "16_gpus": {}}
+    for app in APP_ORDER:
+        for n, label in [(8, "8_gpus"), (16, "16_gpus")]:
+            base = runner.run(app, _baseline(num_gpus=n))
+            idyll = runner.run(app, _idyll(num_gpus=n))
+            series[label][app] = idyll.speedup_over(base)
+    return series
+
+
+def fig19_unused_bits(
+    runner: Optional[ExperimentRunner] = None,
+    gpu_counts: Optional[List[int]] = None,
+) -> Series:
+    """Fig. 19: IDYLL with only 4 usable in-PTE directory bits, on 8-,
+    16- and 32-GPU systems (hash aliasing false positives grow)."""
+    runner = _runner(runner)
+    gpu_counts = gpu_counts or [8, 16, 32]
+    series: Series = {f"{n}_gpus": {} for n in gpu_counts}
+    for app in APP_ORDER:
+        for n in gpu_counts:
+            base = runner.run(app, _baseline(num_gpus=n))
+            idyll = runner.run(app, _idyll(num_gpus=n).with_directory_bits(4))
+            series[f"{n}_gpus"][app] = idyll.speedup_over(base)
+    return series
+
+
+def fig20_counter_threshold(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 20: baseline and IDYLL at access-counter thresholds 256 and
+    512 (scaled), all normalised to baseline-256."""
+    runner = _runner(runner)
+    series: Series = {
+        "idyll_256": {},
+        "baseline_512": {},
+        "idyll_512": {},
+    }
+    for app in APP_ORDER:
+        base256 = runner.run(app, _baseline())
+        series["idyll_256"][app] = runner.run(app, _idyll()).speedup_over(base256)
+        series["baseline_512"][app] = runner.run(
+            app, _baseline().with_threshold(512)
+        ).speedup_over(base256)
+        series["idyll_512"][app] = runner.run(
+            app, _idyll().with_threshold(512)
+        ).speedup_over(base256)
+    return series
+
+
+# ---------------------------------------------------------------------------
+# Comparisons (Figs. 21-23) and DNN workloads (Fig. 24)
+# ---------------------------------------------------------------------------
+
+LARGE_PAGE = 2 * 1024 * 1024
+#: §7.3 enlarges inputs to stress the VM subsystem under 2 MB pages.
+LARGE_PAGE_SCALE = 4.0
+
+
+def fig21_large_pages(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 21: IDYLL with 2 MB pages vs the 2 MB-page baseline."""
+    runner = _runner(runner)
+    series: Series = {"idyll_2mb": {}}
+    for app in APP_ORDER:
+        base = runner.run(
+            app, _baseline().with_page_size(LARGE_PAGE), scale=LARGE_PAGE_SCALE
+        )
+        idyll = runner.run(
+            app, _idyll().with_page_size(LARGE_PAGE), scale=LARGE_PAGE_SCALE
+        )
+        series["idyll_2mb"][app] = idyll.speedup_over(base)
+    return series
+
+
+def fig22_page_replication(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 22: IDYLL (counter migration) normalised to page replication."""
+    runner = _runner(runner)
+    series: Series = {"idyll_vs_replication": {}}
+    for app in APP_ORDER:
+        replication = runner.run(app, replace(_baseline(), page_replication=True))
+        idyll = runner.run(app, _idyll())
+        series["idyll_vs_replication"][app] = idyll.speedup_over(replication)
+    return series
+
+
+def fig23_transfw(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 23: Trans-FW, IDYLL, and IDYLL+Trans-FW vs baseline."""
+    runner = _runner(runner)
+    series: Series = {"trans_fw": {}, "idyll": {}, "idyll_trans_fw": {}}
+    for app in APP_ORDER:
+        base = runner.run(app, _baseline())
+        series["trans_fw"][app] = runner.run(
+            app, replace(_baseline(), transfw_enabled=True)
+        ).speedup_over(base)
+        series["idyll"][app] = runner.run(app, _idyll()).speedup_over(base)
+        series["idyll_trans_fw"][app] = runner.run(
+            app, replace(_idyll(), transfw_enabled=True)
+        ).speedup_over(base)
+    return series
+
+
+def fig24_dnn(runner: Optional[ExperimentRunner] = None) -> Series:
+    """Fig. 24: IDYLL on layer-parallel VGG16 and ResNet18 training."""
+    runner = _runner(runner)
+    series: Series = {"idyll": {}}
+    for model in ["VGG16", "ResNet18"]:
+        base = runner.run(model, _baseline())
+        idyll = runner.run(model, _idyll())
+        series["idyll"][model] = idyll.speedup_over(base)
+    return series

@@ -1,0 +1,131 @@
+"""Experiment runner with cross-experiment result caching.
+
+Most figures share runs (every figure needs the 4-GPU baseline, several
+need full IDYLL), so the runner memoises :class:`SimulationResult` by
+``(workload key, config)``.  One process-wide default runner lets the
+whole benchmark suite share a single cache.
+
+Trace sizing is controlled by environment variables so CI and laptops
+can trade fidelity for time:
+
+* ``REPRO_LANES``     — trace lanes per GPU (default 4)
+* ``REPRO_ACCESSES``  — accesses per lane (default 1200)
+* ``REPRO_SEED``      — workload seed (default 7)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+from ..config import SystemConfig
+from ..gpu.system import MultiGPUSystem
+from ..metrics.collector import SimulationResult
+from ..workloads.base import Workload
+from ..workloads.dnn import DNN_MODELS, build_dnn_workload
+from ..workloads.suite import APPS, build_workload
+
+__all__ = ["ExperimentRunner", "default_runner"]
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+class ExperimentRunner:
+    """Builds workloads and runs systems, memoising both."""
+
+    def __init__(
+        self,
+        lanes: Optional[int] = None,
+        accesses_per_lane: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.lanes = lanes if lanes is not None else _env_int("REPRO_LANES", 4)
+        self.accesses_per_lane = (
+            accesses_per_lane
+            if accesses_per_lane is not None
+            else _env_int("REPRO_ACCESSES", 1200)
+        )
+        self.seed = seed if seed is not None else _env_int("REPRO_SEED", 7)
+        self._workloads: Dict[Tuple, Workload] = {}
+        self._results: Dict[Tuple, SimulationResult] = {}
+
+    # -- workloads -----------------------------------------------------------
+
+    def _lane_budget(self, num_gpus: int) -> int:
+        """Accesses per lane, tapered for very large systems so the 16-
+        and 32-GPU sweeps stay tractable (documented in EXPERIMENTS.md)."""
+        if num_gpus <= 8:
+            return self.accesses_per_lane
+        return max(200, self.accesses_per_lane * 8 // num_gpus)
+
+    def workload(
+        self,
+        app: str,
+        num_gpus: int = 4,
+        page_size: int = 4096,
+        scale: float = 1.0,
+    ) -> Workload:
+        """Build (or fetch the memoised) traces for one application."""
+        key = ("app", app, num_gpus, page_size, scale, self.lanes, self.seed,
+               self._lane_budget(num_gpus))
+        if key not in self._workloads:
+            if app in APPS:
+                self._workloads[key] = build_workload(
+                    app,
+                    num_gpus=num_gpus,
+                    lanes=self.lanes,
+                    accesses_per_lane=self._lane_budget(num_gpus),
+                    seed=self.seed,
+                    scale=scale,
+                    page_size=page_size,
+                )
+            elif app in DNN_MODELS:
+                self._workloads[key] = build_dnn_workload(
+                    app,
+                    num_gpus=num_gpus,
+                    lanes=self.lanes,
+                    accesses_per_lane=self._lane_budget(num_gpus),
+                    seed=self.seed,
+                )
+            else:
+                raise KeyError(f"unknown workload {app!r}")
+        return self._workloads[key]
+
+    # -- runs ---------------------------------------------------------------
+
+    def run(
+        self,
+        app: str,
+        config: SystemConfig,
+        scale: float = 1.0,
+    ) -> SimulationResult:
+        """Run ``app`` on ``config`` (memoised)."""
+        key = ("run", app, scale, self.lanes, self.seed,
+               self._lane_budget(config.num_gpus), config)
+        if key not in self._results:
+            workload = self.workload(
+                app, num_gpus=config.num_gpus, page_size=config.page_size, scale=scale
+            )
+            system = MultiGPUSystem(config, seed=self.seed)
+            self._results[key] = system.run(workload)
+        return self._results[key]
+
+    def cached_runs(self) -> int:
+        """Number of memoised simulation results (for tests)."""
+        return len(self._results)
+
+
+_DEFAULT: Optional[ExperimentRunner] = None
+
+
+def default_runner() -> ExperimentRunner:
+    """Process-wide shared runner (shared cache across all benches)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ExperimentRunner()
+    return _DEFAULT

@@ -1,0 +1,6 @@
+"""GPU memory-management unit: walk queue, walker threads, walk cache."""
+
+from .gmmu import GMMU
+from .request import WalkKind, WalkRequest
+
+__all__ = ["GMMU", "WalkKind", "WalkRequest"]

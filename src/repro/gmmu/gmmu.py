@@ -1,0 +1,188 @@
+"""GPU memory-management unit.
+
+Structure follows §3.1: a page-walk queue (64 entries) in front of a
+pool of walker threads (8, Table 2) that share one page-walk cache
+(128 entries).  A walk costs 100 cycles per level not covered by the
+PWC.  Crucially, *all three* request kinds — demand translations, PTE
+invalidations, and PTE updates — traverse the same queue, PWC, and
+thread pool; the resulting contention is the phenomenon the paper
+measures (§5.2) and IDYLL removes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import GMMUConfig
+from ..memory.page_table import PageTable
+from ..memory.walk_cache import PageWalkCache
+from ..sim.engine import Engine, Event
+from ..sim.process import Resource, Store
+from ..sim.stats import StatsGroup
+from .request import WalkKind, WalkRequest
+
+__all__ = ["GMMU"]
+
+
+class GMMU:
+    """Page-table walking engine of one GPU."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: GMMUConfig,
+        page_table: PageTable,
+        name: str = "gmmu",
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.page_table = page_table
+        self.stats = StatsGroup(name)
+        self.pwc = PageWalkCache(config.walk_cache_entries, page_table.layout, f"{name}.pwc")
+        self.queue: Store = Store(engine, capacity=config.walk_queue_entries)
+        self.walkers = Resource(engine, config.walker_threads)
+        self._idle_waiters: List[Event] = []
+        # Busy-time integrators: cycles during which >=1 invalidation
+        # (resp. any) request was in the GMMU, submit-to-done.  Used by
+        # the Fig.-1 invalidation-overhead measurement.
+        self._inval_inflight = 0
+        self._inval_since = 0
+        self._inval_busy = 0
+        self._any_inflight = 0
+        self._any_since = 0
+        self._any_busy = 0
+        engine.process(self._dispatcher())
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: WalkRequest) -> Event:
+        """Enqueue a walk; the returned event fires when it is *accepted*
+        into the queue (backpressure when the 64-entry queue is full)."""
+        self.stats.counter(f"submitted.{request.kind.value}").add()
+        if request.kind is WalkKind.INVALIDATE:
+            if self._inval_inflight == 0:
+                self._inval_since = self.engine.now
+            self._inval_inflight += 1
+        if self._any_inflight == 0:
+            self._any_since = self.engine.now
+        self._any_inflight += 1
+        return self.queue.put(request)
+
+    def walk(self, vpn: int, kind: WalkKind, word: Optional[int] = None) -> WalkRequest:
+        """Convenience: build, submit, and return a request whose ``done``
+        event fires on completion."""
+        request = WalkRequest(
+            vpn=vpn, kind=kind, issued_at=self.engine.now, done=self.engine.event(), word=word
+        )
+        self.submit(request)
+        return request
+
+    # -- idleness (used by lazy-invalidation writeback, §6.3) ---------------
+
+    @property
+    def is_idle(self) -> bool:
+        return self.walkers.in_use == 0 and len(self.queue) == 0
+
+    @property
+    def has_available_walker(self) -> bool:
+        """Queue drained and at least one walker thread free."""
+        return len(self.queue) == 0 and self.walkers.idle > 0
+
+    @property
+    def load(self) -> int:
+        """Queued plus in-flight walks."""
+        return len(self.queue) + self.walkers.in_use
+
+    # -- internals ----------------------------------------------------------
+
+    def _dispatcher(self):
+        while True:
+            request: WalkRequest = yield self.queue.get()
+            yield self.walkers.request()
+            self.engine.process(self._walk(request))
+
+    def _walk(self, request: WalkRequest):
+        request.started_at = self.engine.now
+        queue_wait = request.started_at - request.issued_at
+        self.stats.latency(f"queue_wait.{request.kind.value}").record(queue_wait)
+
+        if request.aborted:
+            # Superseded while queued (a fresh mapping arrived): drop it.
+            self.stats.counter("aborted_walks").add()
+            self.walkers.release()
+            self._account_done(request)
+            request.done.succeed(None)
+            self._wake_idle_waiters()
+            return
+
+        cached_level = self.pwc.deepest_cached_level(request.vpn)
+        levels = self.page_table.walk_levels(request.vpn, cached_level)
+        yield levels * self.config.walk_latency_per_level
+        self.pwc.fill(request.vpn)
+        self.stats.latency(f"walk_levels.{request.kind.value}").record(levels)
+
+        if request.kind is WalkKind.DEMAND:
+            result = self.page_table.translate(request.vpn)
+        elif request.kind is WalkKind.INVALIDATE:
+            if request.aborted:
+                # A fresh mapping raced in while we were walking: leave it.
+                self.stats.counter("aborted_walks").add()
+                request.was_valid = False
+                result = False
+            else:
+                request.was_valid = self.page_table.invalidate(request.vpn)
+                self.stats.counter(
+                    "invalidations.necessary" if request.was_valid else "invalidations.unnecessary"
+                ).add()
+                result = request.was_valid
+        else:  # UPDATE
+            assert request.word is not None, "UPDATE walk needs a PTE word"
+            self.page_table.set_entry(request.vpn, request.word)
+            result = request.word
+
+        self.walkers.release()
+        total = self.engine.now - request.issued_at
+        self.stats.latency(f"total.{request.kind.value}").record(total)
+        self._account_done(request)
+        request.done.succeed(result)
+        self._wake_idle_waiters()
+
+    def _account_done(self, request: WalkRequest) -> None:
+        if request.kind is WalkKind.INVALIDATE:
+            self._inval_inflight -= 1
+            if self._inval_inflight == 0:
+                self._inval_busy += self.engine.now - self._inval_since
+        self._any_inflight -= 1
+        if self._any_inflight == 0:
+            self._any_busy += self.engine.now - self._any_since
+
+    def _wake_idle_waiters(self) -> None:
+        if self.has_available_walker:
+            waiters, self._idle_waiters = self._idle_waiters, []
+            for ev in waiters:
+                ev.succeed()
+
+    def invalidation_busy_cycles(self) -> int:
+        """Cycles so far during which >=1 invalidation was being handled."""
+        busy = self._inval_busy
+        if self._inval_inflight > 0:
+            busy += self.engine.now - self._inval_since
+        return busy
+
+    def any_busy_cycles(self) -> int:
+        """Cycles so far during which the GMMU had any request in flight."""
+        busy = self._any_busy
+        if self._any_inflight > 0:
+            busy += self.engine.now - self._any_since
+        return busy
+
+    def wait_idle(self) -> Event:
+        """Event fired the next time a walker is *available* — the walk
+        queue is empty and at least one walker thread is free (§6.3: the
+        lazy writeback runs "when the page table walker is available")."""
+        ev = self.engine.event()
+        if self.has_available_walker:
+            ev.succeed()
+        else:
+            self._idle_waiters.append(ev)
+        return ev

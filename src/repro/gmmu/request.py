@@ -1,0 +1,42 @@
+"""Walk request records flowing through the GMMU."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..sim.engine import Event
+
+__all__ = ["WalkKind", "WalkRequest"]
+
+
+class WalkKind(str, Enum):
+    """What a page-table walk is for."""
+
+    #: a demand TLB miss translating a load/store.
+    DEMAND = "demand"
+    #: a shootdown walk clearing a PTE's valid bit.
+    INVALIDATE = "invalidate"
+    #: installing / overwriting a PTE after a fault replay or migration.
+    UPDATE = "update"
+
+
+@dataclass
+class WalkRequest:
+    """One unit of work for the page-table walker."""
+
+    vpn: int
+    kind: WalkKind
+    issued_at: int
+    done: Event
+    #: for UPDATE walks: the PTE word to install.
+    word: Optional[int] = None
+    #: time the request won a walker thread (filled by the GMMU).
+    started_at: Optional[int] = None
+    #: for INVALIDATE walks: whether the cleared PTE was actually valid.
+    was_valid: Optional[bool] = field(default=None)
+    #: set when a fresh mapping for this VPN arrived after the walk was
+    #: queued: the invalidation must not clobber the new PTE (§6.3 — a
+    #: replayed mapping supersedes the pending invalidation).
+    aborted: bool = False

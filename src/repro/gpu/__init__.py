@@ -1,0 +1,7 @@
+"""GPU model: compute-unit lanes, single-GPU node, multi-GPU system."""
+
+from .cu import Lane
+from .gpu import GPU
+from .system import MultiGPUSystem
+
+__all__ = ["Lane", "GPU", "MultiGPUSystem"]

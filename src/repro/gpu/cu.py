@@ -1,0 +1,55 @@
+"""Compute-unit trace lanes.
+
+A lane stands in for a CU's memory pipeline: it replays a trace of
+``(gap, vpn, is_write)`` records, spending ``gap`` cycles of compute
+between issues and keeping up to ``inflight_per_cu`` memory requests
+outstanding.  The window is what lets translation latency be hidden by
+computation — and what makes memory-intensive traces (small gaps)
+sensitive to invalidation-induced latency, exactly as §5.2 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from ..sim.process import Resource
+
+__all__ = ["Lane"]
+
+
+class Lane:
+    """One trace-driven CU lane of a GPU."""
+
+    def __init__(self, gpu, lane_id: int, trace: Iterable[Tuple[int, int, bool]]) -> None:
+        self.gpu = gpu
+        self.lane_id = lane_id
+        self.trace = trace
+
+    def run(self):
+        """Process body: replay the trace, then drain the window."""
+        engine = self.gpu.engine
+        capacity = self.gpu.config.inflight_per_cu
+        window = Resource(engine, capacity)
+        gpu = self.gpu
+        for gap, vpn, is_write in self.trace:
+            if gap:
+                yield gap
+            yield window.request()
+            gpu.instructions += gap + 1
+            latency = gpu.try_fast_access(self.lane_id, vpn, is_write)
+            if latency is not None:
+                # Fast path: occupancy modelled with one scheduled release.
+                engine.schedule(latency, window.release)
+            else:
+                engine.process(self._one_access(vpn, is_write, window))
+        # Drain: reacquire every slot so we return only when all
+        # outstanding accesses have completed.
+        for _ in range(capacity):
+            yield window.request()
+
+    def _one_access(self, vpn: int, is_write: bool, window: Resource):
+        try:
+            yield from self.gpu.access(self.lane_id, vpn, is_write)
+            self.gpu.stats.counter("accesses_completed").add()
+        finally:
+            window.release()

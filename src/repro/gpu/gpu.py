@@ -1,0 +1,300 @@
+"""One GPU: TLB hierarchy, GMMU, local page table, memory, and IDYLL
+hardware (IRMB + lazy controller, optional Trans-FW table).
+
+The translation pipeline follows §3.2 / Fig. 3:
+
+1. L1 TLB (1 cycle, per-CU) with a per-CU MSHR;
+2. shared L2 TLB (10 cycles) probed **in parallel with the IRMB** (§6.3);
+3. GMMU page walk (queue → PWC → walker threads, 100 cy/level);
+4. far fault to the UVM driver when the local PTE is invalid — or
+   immediately on an IRMB hit, bypassing the stale local walk.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import InvalidationScheme, SystemConfig
+from ..core.irmb import IRMB
+from ..core.lazy import LazyInvalidationController
+from ..core.transfw import TransFW
+from ..gmmu.gmmu import GMMU
+from ..gmmu.request import WalkKind
+from ..interconnect.link import CONTROL_MESSAGE_BYTES
+from ..interconnect.topology import Interconnect
+from ..memory import pte as pte_bits
+from ..memory.address import AddressLayout
+from ..memory.page_table import PageTable
+from ..memory.physmem import PhysicalMemory
+from ..sim.engine import Engine, Event
+from ..sim.stats import StatsGroup
+from ..tlb.mshr import MSHR
+from ..tlb.tlb import TLB
+
+__all__ = ["GPU"]
+
+#: device memory per GPU (Table 2: 4 GB DRAM).
+DEVICE_MEMORY_BYTES = 4 * 1024 * 1024 * 1024
+
+#: remote data reply payload (one cache line each way, request + data).
+REMOTE_DATA_BYTES = 128
+
+_LAZY_SCHEMES = (InvalidationScheme.LAZY, InvalidationScheme.IDYLL)
+
+
+class GPU:
+    """A single GPU node in the multi-GPU system."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        gpu_id: int,
+        config: SystemConfig,
+        layout: AddressLayout,
+        interconnect: Interconnect,
+        driver,
+        seed: int = 7,
+    ) -> None:
+        self.engine = engine
+        self.gpu_id = gpu_id
+        self.config = config
+        self.layout = layout
+        self.interconnect = interconnect
+        self.driver = driver
+        self.stats = StatsGroup(f"gpu{gpu_id}")
+
+        self.page_table = PageTable(layout, f"gpu{gpu_id}.pt")
+        self.memory = PhysicalMemory(gpu_id, DEVICE_MEMORY_BYTES, config.page_size)
+        self.gmmu = GMMU(engine, config.gmmu, self.page_table, f"gpu{gpu_id}.gmmu")
+        self.l1_tlbs: List[TLB] = [
+            TLB(config.l1_tlb, f"gpu{gpu_id}.l1tlb{i}") for i in range(config.trace_lanes)
+        ]
+        self.l1_mshrs: List[MSHR] = [
+            MSHR(engine, f"gpu{gpu_id}.l1mshr{i}") for i in range(config.trace_lanes)
+        ]
+        self.l2_tlb = TLB(config.l2_tlb, f"gpu{gpu_id}.l2tlb")
+        self.l2_mshr = MSHR(engine, f"gpu{gpu_id}.l2mshr")
+
+        self.irmb: Optional[IRMB] = None
+        self.lazy: Optional[LazyInvalidationController] = None
+        if config.invalidation_scheme in _LAZY_SCHEMES:
+            self.irmb = IRMB(config.irmb, layout, f"gpu{gpu_id}.irmb")
+            self.lazy = LazyInvalidationController(
+                engine, self.irmb, self.gmmu, f"gpu{gpu_id}.lazy",
+                idle_writeback=config.lazy_idle_writeback,
+            )
+
+        self.transfw: Optional[TransFW] = None
+        if config.transfw_enabled:
+            self.transfw = TransFW(gpu_id, config.num_gpus, config.transfw, seed)
+
+        #: instructions retired (for MPKI); incremented by the lanes.
+        self.instructions = 0
+
+    # ------------------------------------------------------------------
+    # The access pipeline
+    # ------------------------------------------------------------------
+
+    def try_fast_access(self, lane: int, vpn: int, is_write: bool) -> Optional[int]:
+        """Synchronous fast path for the overwhelmingly common case — an
+        L1 TLB hit on a local, non-migrating page.  Returns the access's
+        total latency so the lane can model occupancy with a single
+        scheduled event, or None when the full pipeline must run.
+
+        This is purely a simulator optimisation: the latency and all
+        statistics are identical to the slow path for the covered case.
+        """
+        gate = self.driver.migration_gate(vpn)
+        if gate is not None and not gate.is_open:
+            return None
+        l1 = self.l1_tlbs[lane]
+        word = l1.peek(vpn)
+        if word is None:
+            return None
+        if is_write and self.config.page_replication and self.driver.replicas.is_replicated(vpn):
+            return None
+        if PhysicalMemory.owner_of(pte_bits.ppn(word)) != self.gpu_id:
+            return None
+        l1.lookup(vpn)  # record the hit and refresh LRU
+        self.stats.counter("local_accesses").add()
+        self.stats.counter("accesses_completed").add()
+        return l1.lookup_latency + self.config.dram_latency
+
+    def access(self, lane: int, vpn: int, is_write: bool):
+        """Full memory access: translate, then perform the data access.
+
+        Re-translates when the target page is mid-migration (§5.2's page
+        migration waiting: requests to a migrating page stall until the
+        new mapping is established).
+        """
+        word = yield from self.translate(lane, vpn, is_write)
+        while True:
+            gate = self.driver.migration_gate(vpn)
+            if gate is None or gate.is_open:
+                break
+            t0 = self.engine.now
+            yield gate.wait()
+            self.stats.latency("migration_stall").record(self.engine.now - t0)
+            word = yield from self.translate(lane, vpn, is_write)
+        yield from self.data_access(vpn, word, is_write)
+
+    def translate(self, lane: int, vpn: int, is_write: bool):
+        """Translate ``vpn``; returns the PTE word."""
+        l1 = self.l1_tlbs[lane]
+        yield l1.lookup_latency
+        word = l1.lookup(vpn)
+        if word is not None:
+            return word
+
+        mshr1 = self.l1_mshrs[lane]
+        if vpn in mshr1:
+            return (yield mshr1.wait(vpn))
+        mshr1.allocate(vpn)
+
+        # L2 TLB and IRMB are probed in parallel; both fit in the L2 latency.
+        yield self.l2_tlb.lookup_latency
+        word = self.l2_tlb.lookup(vpn)
+        if word is None:
+            word = yield from self._l2_miss(vpn, is_write)
+        l1.insert(vpn, word)
+        mshr1.complete(vpn, word)
+        return word
+
+    def _l2_miss(self, vpn: int, is_write: bool):
+        """Demand L2 TLB miss: IRMB bypass / page walk / far fault."""
+        t_miss = self.engine.now
+        if vpn in self.l2_mshr:
+            word = yield self.l2_mshr.wait(vpn)
+            self.stats.latency("demand_miss_latency").record(self.engine.now - t_miss)
+            return word
+        self.l2_mshr.allocate(vpn)
+
+        if (
+            self.lazy is not None
+            and self.config.irmb_bypass_enabled
+            and self.lazy.probe(vpn)
+        ):
+            # IRMB hit: the local PTE is stale — bypass the local walk and
+            # raise the far fault straight away (§6.3 scenario three).
+            self.stats.counter("irmb_bypasses").add()
+            word = yield from self._far_fault(vpn, is_write)
+        else:
+            request = self.gmmu.walk(vpn, WalkKind.DEMAND)
+            word = yield request.done
+            if word is None:
+                word = yield from self._far_fault(vpn, is_write)
+
+        self.l2_tlb.insert(vpn, word)
+        self.l2_mshr.complete(vpn, word)
+        self.stats.latency("demand_miss_latency").record(self.engine.now - t_miss)
+        return word
+
+    def _far_fault(self, vpn: int, is_write: bool):
+        """Resolve a far fault; returns the new PTE word (installed in the
+        local page table via an UPDATE walk before returning)."""
+        t0 = self.engine.now
+        self.stats.counter("far_faults").add()
+
+        word: Optional[int] = None
+        if self.transfw is not None:
+            word = yield from self._transfw_forward(vpn)
+        if word is None:
+            word = yield self.driver.raise_far_fault(self.gpu_id, vpn, is_write)
+
+        if self.lazy is not None:
+            self.lazy.on_new_mapping(vpn)
+        update = self.gmmu.walk(vpn, WalkKind.UPDATE, word=word)
+        yield update.done
+        self.stats.latency("far_fault_latency").record(self.engine.now - t0)
+        return word
+
+    def _transfw_forward(self, vpn: int):
+        """Trans-FW (§7.5): try to fetch the translation from a remote
+        GPU's page table instead of faulting to the host."""
+        assert self.transfw is not None
+        owner = self.transfw.probe(vpn)
+        if owner is None or owner == self.gpu_id:
+            return None
+        yield self.interconnect.gpu_to_gpu(self.gpu_id, owner, CONTROL_MESSAGE_BYTES)
+        yield self.config.transfw.remote_lookup_latency
+        remote_word = self.driver.gpus[owner].page_table.translate(vpn)
+        yield self.interconnect.gpu_to_gpu(owner, self.gpu_id, CONTROL_MESSAGE_BYTES)
+        if remote_word is None:
+            self.stats.counter("transfw_misforwards").add()
+            self.transfw.forget(vpn)
+            return None
+        actual_owner = PhysicalMemory.owner_of(pte_bits.ppn(remote_word))
+        if actual_owner == self.gpu_id:
+            word = pte_bits.make_pte(pte_bits.ppn(remote_word))
+        else:
+            word = pte_bits.make_remote_pte(pte_bits.ppn(remote_word), actual_owner)
+        self.driver.note_transfw_mapping(vpn, self.gpu_id)
+        self.stats.counter("transfw_forwards").add()
+        return word
+
+    def data_access(self, vpn: int, word: int, is_write: bool):
+        """Serve the data once translation is done: local DRAM or remote
+        GPU memory over NVLink (remote data is not cached, §3.2)."""
+        if is_write and self.config.page_replication:
+            # A write to a (possibly replicated) page collapses replicas.
+            if self.driver.replicas.is_replicated(vpn):
+                yield self.engine.process(self.driver.collapse_replicas(vpn))
+        owner = PhysicalMemory.owner_of(pte_bits.ppn(word))
+        if owner == self.gpu_id:
+            self.stats.counter("local_accesses").add()
+            yield self.config.dram_latency
+            return
+        self.stats.counter("remote_accesses").add()
+        self.driver.note_remote_access(self.gpu_id, vpn)
+        yield self.interconnect.gpu_to_gpu(self.gpu_id, owner, CONTROL_MESSAGE_BYTES)
+        yield self.config.dram_latency
+        yield self.interconnect.gpu_to_gpu(owner, self.gpu_id, REMOTE_DATA_BYTES)
+
+    # ------------------------------------------------------------------
+    # Shootdown handling (driver-facing)
+    # ------------------------------------------------------------------
+
+    def receive_invalidation(self, vpn: int, dst: int) -> Event:
+        """Handle one incoming PTE invalidation request; the returned
+        event is the GPU's acknowledgement."""
+        necessary = self.page_table.translate(vpn) is not None
+        self.stats.counter(
+            "inval_received.necessary" if necessary else "inval_received.unnecessary"
+        ).add()
+        self._shootdown_tlbs(vpn)
+        if self.transfw is not None:
+            # Learn where the page is heading: future faults can forward.
+            self.transfw.learn(vpn, dst)
+
+        ack = self.engine.event()
+        if self.lazy is not None:
+            # Lazy invalidation: buffer in the IRMB, ack immediately (§6.3).
+            self.lazy.accept_invalidation(vpn)
+            ack.succeed()
+        else:
+            request = self.gmmu.walk(vpn, WalkKind.INVALIDATE)
+            request.done.add_callback(lambda _ev: ack.succeed())
+        return ack
+
+    def apply_instant_invalidation(self, vpn: int) -> None:
+        """Zero-latency-invalidation ideal: PTE updated instantaneously."""
+        necessary = self.page_table.translate(vpn) is not None
+        self.stats.counter(
+            "inval_received.necessary" if necessary else "inval_received.unnecessary"
+        ).add()
+        self._shootdown_tlbs(vpn)
+        self.page_table.invalidate(vpn)
+
+    def _shootdown_tlbs(self, vpn: int) -> None:
+        """TLB shootdown is immediate in baseline *and* IDYLL (§6.3)."""
+        self.l2_tlb.shootdown(vpn)
+        for l1 in self.l1_tlbs:
+            l1.shootdown(vpn)
+
+    def deliver_mapping(self, vpn: int, word: int) -> Event:
+        """Driver pushes a fresh mapping (migration destination): cancel
+        any pending IRMB invalidation and install via an UPDATE walk."""
+        if self.lazy is not None:
+            self.lazy.on_new_mapping(vpn)
+        request = self.gmmu.walk(vpn, WalkKind.UPDATE, word=word)
+        return request.done

@@ -1,0 +1,77 @@
+"""Multi-GPU system assembly and the simulation entry point.
+
+:class:`MultiGPUSystem` wires the engine, interconnect, UVM driver, and
+GPUs together from one :class:`~repro.config.SystemConfig`, then
+:meth:`run` replays a workload and returns a
+:class:`~repro.metrics.collector.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from ..config import SystemConfig
+from ..interconnect.topology import Interconnect
+from ..memory.address import AddressLayout
+from ..sim.engine import AllOf, Engine
+from ..uvm.driver import UVMDriver
+from .cu import Lane
+from .gpu import GPU
+
+__all__ = ["MultiGPUSystem"]
+
+#: 2 MB and larger pages use a shallower tree (the leaf level folds into
+#: the page offset, as on x86-64).
+LARGE_PAGE_THRESHOLD = 2 * 1024 * 1024
+
+
+class MultiGPUSystem:
+    """A configured multi-GPU machine ready to replay workloads."""
+
+    def __init__(self, config: SystemConfig, seed: int = 7) -> None:
+        self.config = config
+        self.seed = seed
+        self.engine = Engine()
+        levels = 3 if config.page_size >= LARGE_PAGE_THRESHOLD else 4
+        self.layout = AddressLayout(config.page_size, levels=levels)
+        self.interconnect = Interconnect(self.engine, config.interconnect, config.num_gpus)
+        self.driver = UVMDriver(self.engine, config, self.interconnect, self.layout)
+        self.gpus = [
+            GPU(self.engine, g, config, self.layout, self.interconnect, self.driver, seed)
+            for g in range(config.num_gpus)
+        ]
+        self.driver.attach_gpus(self.gpus)
+        self.finish_time: int = 0
+
+    def run(self, workload) -> "SimulationResult":
+        """Replay ``workload`` to completion; returns collected metrics.
+
+        The reported execution time is the cycle at which every lane has
+        retired its whole trace (in-flight background work — fault
+        batches, lazy writebacks — is drained afterwards but does not
+        extend the application's end-to-end time).
+        """
+        if len(workload.traces) != self.config.num_gpus:
+            raise ValueError(
+                f"workload has {len(workload.traces)} GPU traces, "
+                f"system has {self.config.num_gpus} GPUs"
+            )
+        lane_processes = []
+        for gpu, gpu_traces in zip(self.gpus, workload.traces):
+            for lane_id, trace in enumerate(gpu_traces):
+                if lane_id >= self.config.trace_lanes:
+                    raise ValueError("workload has more lanes than config.trace_lanes")
+                lane_processes.append(self.engine.process(Lane(gpu, lane_id, trace).run()))
+
+        def master():
+            """Records end-to-end time once every lane retires."""
+            yield AllOf(self.engine, lane_processes)
+            self.finish_time = self.engine.now
+            for gpu in self.gpus:
+                if gpu.lazy is not None:
+                    gpu.lazy.stop()
+
+        self.engine.process(master())
+        self.engine.run()
+
+        from ..metrics.collector import collect
+
+        return collect(self, workload)

@@ -1,0 +1,6 @@
+"""Interconnect substrate: NVLink / PCIe links and topology."""
+
+from .link import CONTROL_MESSAGE_BYTES, Link
+from .topology import Interconnect
+
+__all__ = ["CONTROL_MESSAGE_BYTES", "Link", "Interconnect"]

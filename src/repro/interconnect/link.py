@@ -1,0 +1,65 @@
+"""Point-to-point link with propagation latency and serialisation.
+
+Bandwidth is modelled as exclusive occupancy of the link for the
+serialisation time of a payload; propagation latency is pipelined (the
+link is free again while bits are in flight).  Control messages (an
+invalidation request, a fault interrupt) are a fixed small payload;
+page transfers occupy the link for ``page_size / bandwidth``.
+"""
+
+from __future__ import annotations
+
+from ..sim.engine import Engine, Event
+from ..sim.process import Resource
+from ..sim.stats import StatsGroup
+
+__all__ = ["Link", "CONTROL_MESSAGE_BYTES"]
+
+#: size charged for control messages (request/ack packets).
+CONTROL_MESSAGE_BYTES = 64
+
+
+class Link:
+    """One direction of a link; create two for full duplex."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        bandwidth_gbps: float,
+        latency: int,
+        clock_ghz: float = 1.0,
+        name: str = "link",
+    ) -> None:
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.engine = engine
+        self.bandwidth_gbps = bandwidth_gbps
+        self.latency = latency
+        self.clock_ghz = clock_ghz
+        self.stats = StatsGroup(name)
+        self._port = Resource(engine, 1)
+
+    def serialisation_cycles(self, num_bytes: int) -> int:
+        return max(1, round(num_bytes / self.bandwidth_gbps * self.clock_ghz))
+
+    def transfer(self, num_bytes: int) -> Event:
+        """Start a transfer; the event fires when the payload has fully
+        arrived at the far end."""
+        done = self.engine.event()
+        self.engine.process(self._transfer(num_bytes, done))
+        return done
+
+    def _transfer(self, num_bytes: int, done: Event):
+        t0 = self.engine.now
+        yield self._port.request()
+        yield self.engine.timeout(self.serialisation_cycles(num_bytes))
+        self._port.release()
+        yield self.engine.timeout(self.latency)
+        self.stats.counter("transfers").add()
+        self.stats.counter("bytes").add(num_bytes)
+        self.stats.latency("transfer_time").record(self.engine.now - t0)
+        done.succeed()
+
+    def send_control(self) -> Event:
+        """Transfer of one small control packet."""
+        return self.transfer(CONTROL_MESSAGE_BYTES)

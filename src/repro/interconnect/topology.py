@@ -1,0 +1,78 @@
+"""System topology: all-to-all NVLink between GPUs, PCIe to the host.
+
+Table 2: 300 GB/s NVLink-v2 between GPUs, 32 GB/s PCIe-v4 to the CPU.
+Each GPU owns an NVLink egress port and a PCIe up/down pair; remote data
+and invalidation traffic therefore contend per GPU, which is what lets
+the in-PTE directory's filtered shootdowns reduce interconnect
+congestion (§7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..config import InterconnectConfig
+from ..sim.engine import Engine, Event
+from .link import Link
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """All links of one multi-GPU system."""
+
+    def __init__(self, engine: Engine, config: InterconnectConfig, num_gpus: int) -> None:
+        self.engine = engine
+        self.config = config
+        self.num_gpus = num_gpus
+        self._nvlink_out: Dict[int, Link] = {
+            g: Link(
+                engine,
+                config.nvlink_bandwidth_gbps,
+                config.nvlink_latency,
+                config.clock_ghz,
+                name=f"nvlink{g}.out",
+            )
+            for g in range(num_gpus)
+        }
+        self._pcie_up: Dict[int, Link] = {}
+        self._pcie_down: Dict[int, Link] = {}
+        for g in range(num_gpus):
+            self._pcie_up[g] = Link(
+                engine, config.pcie_bandwidth_gbps, config.pcie_latency,
+                config.clock_ghz, name=f"pcie{g}.up",
+            )
+            self._pcie_down[g] = Link(
+                engine, config.pcie_bandwidth_gbps, config.pcie_latency,
+                config.clock_ghz, name=f"pcie{g}.down",
+            )
+
+    def _check_gpu(self, gpu: int) -> None:
+        if not 0 <= gpu < self.num_gpus:
+            raise ValueError(f"no such GPU: {gpu}")
+
+    def gpu_to_gpu(self, src: int, dst: int, num_bytes: int) -> Event:
+        """Transfer between two GPUs over the source's NVLink port."""
+        self._check_gpu(src)
+        self._check_gpu(dst)
+        if src == dst:
+            raise ValueError("gpu_to_gpu requires distinct endpoints")
+        return self._nvlink_out[src].transfer(num_bytes)
+
+    def gpu_to_host(self, gpu: int, num_bytes: int) -> Event:
+        self._check_gpu(gpu)
+        return self._pcie_up[gpu].transfer(num_bytes)
+
+    def host_to_gpu(self, gpu: int, num_bytes: int) -> Event:
+        self._check_gpu(gpu)
+        return self._pcie_down[gpu].transfer(num_bytes)
+
+    def nvlink_bytes(self) -> int:
+        return sum(l.stats.counter("bytes").value for l in self._nvlink_out.values())
+
+    def pcie_bytes(self) -> int:
+        return sum(
+            l.stats.counter("bytes").value
+            for links in (self._pcie_up, self._pcie_down)
+            for l in links.values()
+        )

@@ -1,0 +1,18 @@
+"""Memory substrate: addressing, PTEs, page tables, walk caches, DRAM."""
+
+from .address import AddressLayout, LAYOUT_2M, LAYOUT_4K
+from .page_table import PageTable
+from .physmem import MemoryExhausted, PhysicalMemory
+from .walk_cache import PageWalkCache
+from . import pte
+
+__all__ = [
+    "AddressLayout",
+    "LAYOUT_2M",
+    "LAYOUT_4K",
+    "PageTable",
+    "MemoryExhausted",
+    "PhysicalMemory",
+    "PageWalkCache",
+    "pte",
+]

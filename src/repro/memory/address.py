@@ -1,0 +1,78 @@
+"""Virtual-address arithmetic.
+
+Addresses follow the x86-64-style radix layout the paper assumes
+(Fig. 8/9): a page offset (12 bits for 4 KB pages, 21 bits for 2 MB
+pages) below a virtual page number that is consumed 9 bits per
+page-table level, deepest level (L1) first from the bottom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["AddressLayout", "LAYOUT_4K", "LAYOUT_2M"]
+
+BITS_PER_LEVEL = 9
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """Splits virtual addresses for a given page size / tree depth."""
+
+    page_size: int
+    levels: int = 4
+
+    def __post_init__(self) -> None:
+        if self.page_size & (self.page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        if self.levels < 1:
+            raise ValueError("levels must be >= 1")
+
+    @property
+    def offset_bits(self) -> int:
+        return self.page_size.bit_length() - 1
+
+    def vpn(self, va: int) -> int:
+        """Virtual page number of ``va``."""
+        return va >> self.offset_bits
+
+    def va(self, vpn: int, offset: int = 0) -> int:
+        """Reassemble a virtual address from a VPN and page offset."""
+        return (vpn << self.offset_bits) | offset
+
+    def page_base(self, va: int) -> int:
+        return va & ~(self.page_size - 1)
+
+    def level_index(self, vpn: int, level: int) -> int:
+        """9-bit radix index of ``vpn`` at ``level`` (1 = leaf level)."""
+        if not 1 <= level <= self.levels:
+            raise ValueError(f"level must be in 1..{self.levels}")
+        return (vpn >> (BITS_PER_LEVEL * (level - 1))) & (2**BITS_PER_LEVEL - 1)
+
+    def indices(self, vpn: int) -> List[int]:
+        """Radix indices from the root level down to the leaf level."""
+        return [self.level_index(vpn, lvl) for lvl in range(self.levels, 0, -1)]
+
+    def prefix(self, vpn: int, level: int) -> int:
+        """VPN bits above ``level``; identifies the level-``level`` node.
+
+        ``prefix(vpn, 1)`` strips the leaf (L1) index — two VPNs with the
+        same L1 prefix share the same last-level page-table node, which is
+        exactly the IRMB's merge criterion (§6.3).
+        """
+        if not 1 <= level <= self.levels:
+            raise ValueError(f"level must be in 1..{self.levels}")
+        return vpn >> (BITS_PER_LEVEL * level)
+
+    def irmb_base(self, vpn: int) -> int:
+        """IRMB base field: everything above the L1 index."""
+        return vpn >> BITS_PER_LEVEL
+
+    def irmb_offset(self, vpn: int) -> int:
+        """IRMB offset field: the 9-bit L1 index."""
+        return vpn & (2**BITS_PER_LEVEL - 1)
+
+
+LAYOUT_4K = AddressLayout(page_size=4096, levels=4)
+LAYOUT_2M = AddressLayout(page_size=2 * 1024 * 1024, levels=3)

@@ -1,0 +1,141 @@
+"""x86-64 page-table-entry bit layout (Fig. 8 of the paper).
+
+We carry real 64-bit PTE words through the simulation so the in-PTE
+directory (§6.2) manipulates the exact bits the paper describes:
+
+====== =============================================================
+bits   field
+====== =============================================================
+0      V   — valid / present
+1      R/W — writable
+2      U/S — user/supervisor
+3      PWT — write-through
+4      PCD — cache-disable
+5      A   — accessed
+6      D   — dirty
+7      PAT
+8      G   — global
+9–11   unused (low)
+12–51  physical page number (40 bits)
+52–62  unused (high) — the in-PTE directory's access bits
+63     XD  — execute-disable
+====== =============================================================
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PTE_VALID",
+    "PTE_WRITABLE",
+    "PTE_ACCESSED",
+    "PTE_DIRTY",
+    "PPN_SHIFT",
+    "PPN_MASK",
+    "DIRECTORY_SHIFT",
+    "DIRECTORY_BITS_MAX",
+    "make_pte",
+    "is_valid",
+    "ppn",
+    "set_valid",
+    "clear_valid",
+    "directory_bits",
+    "set_directory_bit",
+    "clear_directory_bits",
+    "with_directory_bits",
+    "remote_gpu",
+    "make_remote_pte",
+    "is_remote",
+]
+
+PTE_VALID = 1 << 0
+PTE_WRITABLE = 1 << 1
+PTE_ACCESSED = 1 << 5
+PTE_DIRTY = 1 << 6
+
+PPN_SHIFT = 12
+PPN_BITS = 40
+PPN_MASK = ((1 << PPN_BITS) - 1) << PPN_SHIFT
+
+#: the unused high bits 62–52 used by the in-PTE directory (11 bits).
+DIRECTORY_SHIFT = 52
+DIRECTORY_BITS_MAX = 11
+
+#: we stash the owning GPU of a *remote* mapping in low unused bits 11–9.
+_REMOTE_SHIFT = 9
+_REMOTE_MASK = 0b111 << _REMOTE_SHIFT
+_REMOTE_FLAG = 1 << 8  # reuse G bit as the "remote mapping" marker
+
+
+def make_pte(ppn_value: int, writable: bool = True) -> int:
+    """A fresh valid local-mapping PTE for physical page ``ppn_value``."""
+    word = PTE_VALID | ((ppn_value << PPN_SHIFT) & PPN_MASK)
+    if writable:
+        word |= PTE_WRITABLE
+    return word
+
+
+def make_remote_pte(ppn_value: int, owner_gpu: int, writable: bool = True) -> int:
+    """A valid PTE whose physical page lives in ``owner_gpu``'s memory.
+
+    The low unused bits 11–9 carry a 3-bit owner *hint* (``owner % 8``) —
+    enough for the paper's 4-GPU default.  The authoritative owner is
+    always derived from the PPN's global range
+    (:meth:`~repro.memory.physmem.PhysicalMemory.owner_of`), which is what
+    every simulation path uses; the hint exists for debugging dumps.
+    """
+    word = make_pte(ppn_value, writable)
+    word |= _REMOTE_FLAG | (((owner_gpu % 8) << _REMOTE_SHIFT) & _REMOTE_MASK)
+    return word
+
+
+def is_valid(word: int) -> bool:
+    return bool(word & PTE_VALID)
+
+
+def is_remote(word: int) -> bool:
+    return bool(word & _REMOTE_FLAG)
+
+
+def remote_gpu(word: int) -> int:
+    """Owner *hint* (modulo 8) for a remote mapping — see
+    :func:`make_remote_pte`; derive the true owner from the PPN."""
+    return (word & _REMOTE_MASK) >> _REMOTE_SHIFT
+
+
+def ppn(word: int) -> int:
+    return (word & PPN_MASK) >> PPN_SHIFT
+
+
+def set_valid(word: int) -> int:
+    return word | PTE_VALID
+
+
+def clear_valid(word: int) -> int:
+    return word & ~PTE_VALID
+
+
+def directory_bits(word: int, num_bits: int = DIRECTORY_BITS_MAX) -> int:
+    """Read the in-PTE directory access bits (bits 52..52+num_bits-1)."""
+    if not 1 <= num_bits <= DIRECTORY_BITS_MAX:
+        raise ValueError(f"num_bits must be in 1..{DIRECTORY_BITS_MAX}")
+    return (word >> DIRECTORY_SHIFT) & ((1 << num_bits) - 1)
+
+
+def set_directory_bit(word: int, gpu_id: int, num_bits: int = DIRECTORY_BITS_MAX) -> int:
+    """Set the access bit for ``gpu_id`` via the paper's modular hash.
+
+    §6.2: ``h(gpu) = gpu % m + 52`` with m the number of usable unused
+    bits; multiple GPUs may alias onto one bit (false positives only).
+    """
+    if not 1 <= num_bits <= DIRECTORY_BITS_MAX:
+        raise ValueError(f"num_bits must be in 1..{DIRECTORY_BITS_MAX}")
+    return word | (1 << (DIRECTORY_SHIFT + (gpu_id % num_bits)))
+
+
+def clear_directory_bits(word: int, num_bits: int = DIRECTORY_BITS_MAX) -> int:
+    return word & ~(((1 << num_bits) - 1) << DIRECTORY_SHIFT)
+
+
+def with_directory_bits(word: int, bits: int, num_bits: int = DIRECTORY_BITS_MAX) -> int:
+    cleared = clear_directory_bits(word, num_bits)
+    return cleared | ((bits & ((1 << num_bits) - 1)) << DIRECTORY_SHIFT)

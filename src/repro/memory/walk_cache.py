@@ -1,0 +1,76 @@
+"""Page-walk cache (PWC): an LRU cache over page-table node pointers.
+
+Tags are ``(level, node_prefix)`` pairs — holding the pointer to the
+page-table node at ``level`` lets a walk start there instead of at the
+root, so a walk's cost in memory accesses equals the deepest cached
+level.  The 128 entries are shared by all walker threads (Table 2) and,
+crucially for the paper, by *invalidation* walks — which is how the
+baseline's invalidation storms thrash demand walks (§5.2), and why
+IRMB-batched invalidations with a common base amortise to one upper-level
+fill plus leaf accesses (§6.3).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from .address import AddressLayout
+from ..sim.stats import StatsGroup
+
+__all__ = ["PageWalkCache"]
+
+
+class PageWalkCache:
+    """Fully-associative LRU cache of page-table node pointers."""
+
+    def __init__(self, entries: int, layout: AddressLayout, name: str = "pwc") -> None:
+        if entries < 1:
+            raise ValueError("PWC must have at least one entry")
+        self.entries = entries
+        self.layout = layout
+        self.stats = StatsGroup(name)
+        self._tags: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def deepest_cached_level(self, vpn: int) -> Optional[int]:
+        """Deepest (closest-to-leaf) level whose node pointer is cached.
+
+        Returns 1 for a leaf-table hit, ``layout.levels - 1`` for a
+        root-child hit, or None on a complete miss.  Probing refreshes
+        LRU state of the hit tag only.
+        """
+        for level in range(1, self.layout.levels):
+            tag = (level, self.layout.prefix(vpn, level))
+            if tag in self._tags:
+                self._tags.move_to_end(tag)
+                self.stats.counter("hits").add()
+                return level
+        self.stats.counter("misses").add()
+        return None
+
+    def fill(self, vpn: int, down_to_level: int = 1) -> None:
+        """Install node pointers learned by a walk, levels ``levels-1``
+        down to ``down_to_level``."""
+        for level in range(self.layout.levels - 1, down_to_level - 1, -1):
+            self._insert((level, self.layout.prefix(vpn, level)))
+
+    def _insert(self, tag: Tuple[int, int]) -> None:
+        if tag in self._tags:
+            self._tags.move_to_end(tag)
+            return
+        if len(self._tags) >= self.entries:
+            self._tags.popitem(last=False)
+            self.stats.counter("evictions").add()
+        self._tags[tag] = None
+
+    def invalidate_all(self) -> None:
+        self._tags.clear()
+
+    def hit_rate(self) -> float:
+        hits = self.stats.counter("hits").value
+        misses = self.stats.counter("misses").value
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,18 @@
+"""Metrics: per-run collection and report formatting."""
+
+from .collector import SimulationResult, collect
+from .export import result_to_json, results_to_csv, series_to_csv, series_to_json
+from .report import format_series, format_table, geomean, mean
+
+__all__ = [
+    "SimulationResult",
+    "collect",
+    "format_series",
+    "format_table",
+    "geomean",
+    "mean",
+    "result_to_json",
+    "results_to_csv",
+    "series_to_csv",
+    "series_to_json",
+]

@@ -1,0 +1,212 @@
+"""System-wide metric collection.
+
+:func:`collect` walks a finished :class:`~repro.gpu.system.MultiGPUSystem`
+and condenses every component's stats into one
+:class:`SimulationResult` — the unit the experiment harness and the
+figure benches consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["SimulationResult", "collect"]
+
+
+@dataclass
+class SimulationResult:
+    """All measurements of one simulation run."""
+
+    workload: str
+    scheme: str
+    num_gpus: int
+
+    #: end-to-end execution time in cycles (all lanes retired).
+    exec_time: int = 0
+    instructions: int = 0
+    accesses: int = 0
+
+    # TLB behaviour
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    mpki: float = 0.0
+
+    # demand TLB miss requests (§5.2 metric i)
+    demand_miss_count: int = 0
+    demand_miss_total_latency: int = 0
+    demand_miss_mean_latency: float = 0.0
+
+    # far faults
+    far_faults: int = 0
+    far_fault_mean_latency: float = 0.0
+
+    # invalidations
+    invalidations_sent: int = 0
+    inval_received_necessary: int = 0
+    inval_received_unnecessary: int = 0
+    inval_walks: int = 0
+    inval_walk_total_latency: int = 0
+    #: fraction of execution time with >=1 invalidation in the GMMUs
+    #: (Fig. 1's measurement), averaged over GPUs.
+    inval_busy_fraction: float = 0.0
+
+    # migrations (§5.2 metric ii)
+    migrations: int = 0
+    first_touch_migrations: int = 0
+    migration_waiting_total: int = 0
+    migration_waiting_mean: float = 0.0
+    migration_total_mean: float = 0.0
+
+    # data placement
+    local_accesses: int = 0
+    remote_accesses: int = 0
+
+    # IDYLL mechanisms
+    irmb_bypasses: int = 0
+    irmb_inserts: int = 0
+    irmb_merged_inserts: int = 0
+    irmb_evictions: int = 0
+    irmb_idle_writebacks: int = 0
+
+    # page walk machinery
+    demand_walks: int = 0
+    update_walks: int = 0
+    pwc_hit_rate: float = 0.0
+
+    # comparators
+    replications: int = 0
+    replica_collapses: int = 0
+    transfw_forwards: int = 0
+    transfw_misforwards: int = 0
+    vm_cache_hit_rate: float = 0.0
+
+    # traffic
+    nvlink_bytes: int = 0
+    pcie_bytes: int = 0
+
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    # -- derived -----------------------------------------------------------
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Normalized performance: baseline time / this time (>1 = faster)."""
+        if self.exec_time == 0:
+            return 0.0
+        return baseline.exec_time / self.exec_time
+
+    @property
+    def inval_received_total(self) -> int:
+        return self.inval_received_necessary + self.inval_received_unnecessary
+
+    @property
+    def unnecessary_fraction(self) -> float:
+        total = self.inval_received_total
+        return self.inval_received_unnecessary / total if total else 0.0
+
+
+def collect(system, workload) -> SimulationResult:
+    """Aggregate a finished system's stats into a SimulationResult."""
+    config = system.config
+    result = SimulationResult(
+        workload=getattr(workload, "name", "?"),
+        scheme=config.invalidation_scheme.value,
+        num_gpus=config.num_gpus,
+        exec_time=system.finish_time,
+    )
+
+    gmmu_busy = 0
+    for gpu in system.gpus:
+        result.instructions += gpu.instructions
+        result.accesses += gpu.stats.counter("accesses_completed").value
+        for l1 in gpu.l1_tlbs:
+            result.l1_hits += l1.stats.counter("hits").value
+            result.l1_misses += l1.stats.counter("misses").value
+        result.l2_hits += gpu.l2_tlb.stats.counter("hits").value
+        result.l2_misses += gpu.l2_tlb.stats.counter("misses").value
+
+        dml = gpu.stats.latency("demand_miss_latency")
+        result.demand_miss_count += dml.count
+        result.demand_miss_total_latency += dml.total
+
+        ffl = gpu.stats.latency("far_fault_latency")
+        result.far_faults += gpu.stats.counter("far_faults").value
+        if ffl.count:
+            # weighted mean across GPUs, accumulated then normalised below
+            result.extras["_ff_total"] = result.extras.get("_ff_total", 0) + ffl.total
+            result.extras["_ff_count"] = result.extras.get("_ff_count", 0) + ffl.count
+
+        result.inval_received_necessary += gpu.stats.counter(
+            "inval_received.necessary"
+        ).value
+        result.inval_received_unnecessary += gpu.stats.counter(
+            "inval_received.unnecessary"
+        ).value
+
+        g = gpu.gmmu
+        result.inval_walks += g.stats.latency("total.invalidate").count
+        result.inval_walk_total_latency += g.stats.latency("total.invalidate").total
+        result.demand_walks += g.stats.latency("total.demand").count
+        result.update_walks += g.stats.latency("total.update").count
+        gmmu_busy += g.invalidation_busy_cycles()
+        result.extras["pwc_hits"] = result.extras.get("pwc_hits", 0) + g.pwc.stats.counter("hits").value
+        result.extras["pwc_misses"] = (
+            result.extras.get("pwc_misses", 0) + g.pwc.stats.counter("misses").value
+        )
+
+        result.local_accesses += gpu.stats.counter("local_accesses").value
+        result.remote_accesses += gpu.stats.counter("remote_accesses").value
+        result.irmb_bypasses += gpu.stats.counter("irmb_bypasses").value
+
+        if gpu.irmb is not None:
+            s = gpu.irmb.stats
+            result.irmb_inserts += (
+                s.counter("new_entry_inserts").value + s.counter("merged_inserts").value
+            )
+            result.irmb_merged_inserts += s.counter("merged_inserts").value
+            result.irmb_evictions += (
+                s.counter("base_evictions").value + s.counter("offset_evictions").value
+            )
+        if gpu.lazy is not None:
+            result.irmb_idle_writebacks += gpu.lazy.stats.counter(
+                "idle_writeback_entries"
+            ).value
+        if gpu.transfw is not None:
+            result.transfw_forwards += gpu.stats.counter("transfw_forwards").value
+            result.transfw_misforwards += gpu.stats.counter("transfw_misforwards").value
+
+    driver = system.driver
+    result.invalidations_sent = driver.stats.counter("invalidations_sent").value
+    result.migrations = driver.stats.counter("migrations").value
+    result.first_touch_migrations = driver.stats.counter("first_touch_migrations").value
+    mw = driver.stats.latency("migration_waiting")
+    result.migration_waiting_total = mw.total
+    result.migration_waiting_mean = mw.mean
+    result.migration_total_mean = driver.stats.latency("migration_total").mean
+    result.replications = driver.stats.counter("replications").value
+    result.replica_collapses = driver.stats.counter("replica_collapses").value
+    if driver.directory is not None and hasattr(driver.directory, "cache_hit_rate"):
+        result.vm_cache_hit_rate = driver.directory.cache_hit_rate()
+
+    result.nvlink_bytes = system.interconnect.nvlink_bytes()
+    result.pcie_bytes = system.interconnect.pcie_bytes()
+
+    if result.instructions:
+        result.mpki = result.l2_misses / (result.instructions / 1000.0)
+    if result.demand_miss_count:
+        result.demand_miss_mean_latency = (
+            result.demand_miss_total_latency / result.demand_miss_count
+        )
+    ff_count = result.extras.pop("_ff_count", 0)
+    ff_total = result.extras.pop("_ff_total", 0)
+    if ff_count:
+        result.far_fault_mean_latency = ff_total / ff_count
+    if result.exec_time and config.num_gpus:
+        result.inval_busy_fraction = gmmu_busy / (result.exec_time * config.num_gpus)
+    pwc_hits = result.extras.get("pwc_hits", 0)
+    pwc_misses = result.extras.get("pwc_misses", 0)
+    if pwc_hits + pwc_misses:
+        result.pwc_hit_rate = pwc_hits / (pwc_hits + pwc_misses)
+    return result

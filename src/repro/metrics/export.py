@@ -1,0 +1,60 @@
+"""Result export: CSV / JSON for downstream plotting.
+
+``series`` here is the shape every :mod:`repro.experiments.figures`
+function returns — ``{series_label: {app: value}}`` — so any figure's
+data can be dumped for a plotting pipeline with one call.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .collector import SimulationResult
+
+__all__ = ["series_to_csv", "series_to_json", "result_to_json", "results_to_csv"]
+
+
+def _columns(series: Dict[str, Dict[str, float]]) -> List[str]:
+    cols: List[str] = []
+    for values in series.values():
+        for app in values:
+            if app not in cols:
+                cols.append(app)
+    return cols
+
+
+def series_to_csv(series: Dict[str, Dict[str, float]], path: Union[str, Path]) -> None:
+    """One row per series label, one column per application."""
+    cols = _columns(series)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["series"] + cols)
+        for label, values in series.items():
+            writer.writerow([label] + [values.get(c, "") for c in cols])
+
+
+def series_to_json(series: Dict[str, Dict[str, float]], path: Union[str, Path]) -> None:
+    """Dump a figure's series dict as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(series, indent=2, sort_keys=True))
+
+
+def result_to_json(result: SimulationResult, path: Union[str, Path]) -> None:
+    """Full metric dump of one simulation run."""
+    Path(path).write_text(json.dumps(asdict(result), indent=2, sort_keys=True))
+
+
+def results_to_csv(results: List[SimulationResult], path: Union[str, Path]) -> None:
+    """One row per run, all scalar metrics as columns."""
+    if not results:
+        raise ValueError("no results to export")
+    rows = [asdict(r) for r in results]
+    for row in rows:
+        row.pop("extras", None)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)

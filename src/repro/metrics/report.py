@@ -1,0 +1,62 @@
+"""Tabular report formatting for the figure/table benches.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output consistent and readable in pytest -s output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series", "geomean", "mean"]
+
+
+def mean(values: Sequence[float]) -> float:
+    vals = list(values)
+    return sum(vals) / len(vals) if vals else 0.0
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def format_table(title: str, columns: List[str], rows: List[List]) -> str:
+    """Fixed-width table with a title banner."""
+    widths = [len(c) for c in columns]
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = [
+            f"{cell:.3f}" if isinstance(cell, float) else str(cell) for cell in row
+        ]
+        rendered_rows.append(rendered)
+        for i, cell in enumerate(rendered):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"== {title} =="]
+    lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(columns)))
+    lines.append("  ".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(rendered)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, series: Dict[str, Dict[str, float]], apps: List[str]) -> str:
+    """One row per series (scheme), one column per application."""
+    columns = ["series"] + apps + ["Avg"]
+    rows = []
+    for label, values in series.items():
+        row: List = [label]
+        nums = []
+        for app in apps:
+            v = values.get(app)
+            row.append(v if v is not None else float("nan"))
+            if v is not None:
+                nums.append(v)
+        row.append(mean(nums))
+        rows.append(row)
+    return format_table(title, columns, rows)

@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel (engine, processes, stats, RNG)."""
+
+from .engine import AllOf, Engine, Event, Interrupt, Process, SimulationError, Timeout
+from .process import Gate, Resource, Store
+from .rng import derive_seed, stream
+from .stats import Counter, Histogram, LatencyStat, StatsGroup
+
+__all__ = [
+    "AllOf",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Gate",
+    "Resource",
+    "Store",
+    "derive_seed",
+    "stream",
+    "Counter",
+    "Histogram",
+    "LatencyStat",
+    "StatsGroup",
+]

@@ -1,0 +1,280 @@
+"""Discrete-event simulation kernel.
+
+The engine is a classic event-calendar simulator: a binary heap of
+``(time, sequence, callback)`` entries drained in timestamp order.  On top
+of the calendar we provide a small coroutine layer (:class:`Process`)
+modelled after SimPy: simulation logic is written as Python generators
+that ``yield`` waitable objects (:class:`Timeout`, :class:`Event`, other
+processes, or :class:`AllOf` compositions) and are resumed by the engine
+when the waited-on condition completes.
+
+Timestamps are integers (cycles).  All scheduling is deterministic: events
+scheduled for the same cycle fire in scheduling order, which makes every
+simulation in this package exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted by another process."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Engine:
+    """The event calendar and simulation clock."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._heap: List[tuple] = []
+        #: zero-delay work for the current cycle (FIFO, avoids heap churn).
+        self._ready: deque = deque()
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` cycles."""
+        if delay <= 0:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            self._ready.append((fn, args))
+            return
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+
+    def event(self) -> "Event":
+        """Create a fresh one-shot event bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> "Timeout":
+        """Create an event that fires ``delay`` cycles from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":
+        """Launch ``generator`` as a simulation process."""
+        return Process(self, generator)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Drain the calendar; returns the final simulation time.
+
+        If ``until`` is given, stops once the clock would pass it (the
+        clock is left at ``until``).
+        """
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        ready = self._ready
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            while ready or heap:
+                while ready:
+                    fn, args = ready.popleft()
+                    fn(*args)
+                if not heap:
+                    break
+                when, _seq, fn, args = heap[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return self._now
+                pop(heap)
+                self._now = when
+                fn(*args)
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def peek(self) -> Optional[int]:
+        """Timestamp of the next pending event, or None if idle."""
+        if self._ready:
+            return self._now
+        return self._heap[0][0] if self._heap else None
+
+
+class Event:
+    """One-shot event: processes may wait on it; it succeeds at most once."""
+
+    __slots__ = ("engine", "_callbacks", "_value", "_ok", "_triggered")
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event has not fired yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event now, resuming all waiters this cycle."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            self.engine.schedule(0, cb, self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event with an exception; waiters see it raised."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = exc
+        self._ok = False
+        callbacks, self._callbacks = self._callbacks, None
+        assert callbacks is not None
+        for cb in callbacks:
+            self.engine.schedule(0, cb, self)
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Invoke ``cb(event)`` when the event fires (immediately if fired)."""
+        if self._callbacks is None:
+            self.engine.schedule(0, cb, self)
+        else:
+            self._callbacks.append(cb)
+
+
+class Timeout(Event):
+    """An event that fires a fixed delay after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: Engine, delay: int, value: Any = None) -> None:
+        super().__init__(engine)
+        self.delay = delay
+        engine.schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class AllOf(Event):
+    """Fires once every child event has fired; value is the list of values."""
+
+    __slots__ = ("_pending", "_children")
+
+    def __init__(self, engine: Engine, events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        self._children = list(events)
+        self._pending = len(self._children)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._child_done)
+
+    def _child_done(self, _ev: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self._triggered:
+            self.succeed([c.value for c in self._children])
+
+
+class Process(Event):
+    """A generator-based simulation process.
+
+    The wrapped generator yields waitables; when the waitable fires the
+    generator is resumed with its value.  A process is itself an
+    :class:`Event` that fires with the generator's return value, so
+    processes can wait on each other.
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, engine: Engine, generator: Generator) -> None:
+        super().__init__(engine)
+        self._gen = generator
+        self._waiting_on: Optional[Event] = None
+        engine.schedule(0, self._resume, None, None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            return
+        target = self._waiting_on
+        if target is not None and not target.triggered:
+            # Detach from whatever it was waiting on.
+            if target._callbacks is not None and self._on_wait_done in target._callbacks:
+                target._callbacks.remove(self._on_wait_done)
+        self._waiting_on = None
+        self.engine.schedule(0, self._resume, None, Interrupt(cause))
+
+    def _on_wait_done(self, ev: Event) -> None:
+        self._waiting_on = None
+        if ev._ok:
+            self._resume(ev.value, None)
+        else:
+            self._resume(None, ev.value)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._triggered:
+            return
+        gen_send = self._gen.send
+        while True:
+            try:
+                if exc is not None:
+                    target = self._gen.throw(exc)
+                    exc = None
+                else:
+                    target = gen_send(value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt:
+                # Interrupt escaped the generator: treat as normal termination.
+                self.succeed(None)
+                return
+            # Fast path: ``yield <int>`` is a bare timeout — no Event object.
+            if type(target) is int:
+                if target == 0:
+                    value = None
+                    continue
+                self.engine.schedule(target, self._resume, None, None)
+                return
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process yielded non-waitable {target!r}; yield an int delay, "
+                    "Event, Timeout, or Process"
+                )
+            self._waiting_on = target
+            target.add_callback(self._on_wait_done)
+            return

@@ -1,0 +1,6 @@
+"""TLB hierarchy: set-associative TLBs and coalescing MSHRs."""
+
+from .mshr import MSHR
+from .tlb import TLB
+
+__all__ = ["MSHR", "TLB"]

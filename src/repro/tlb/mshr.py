@@ -1,0 +1,68 @@
+"""Miss-status holding registers with same-VPN coalescing.
+
+The first miss to a VPN becomes the *primary* and performs the fill;
+subsequent misses to the same VPN block on the MSHR entry and are all
+released by the primary's completion.  §6.3 leans on this behaviour for
+correctness: while a far fault for a page is outstanding, every later
+request to that page is held at the L2 TLB MSHR and can never reach the
+GMMU, so a stale PTE masked only by the IRMB is never walked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..sim.engine import Engine, Event
+from ..sim.stats import StatsGroup
+
+__all__ = ["MSHR"]
+
+
+class MSHR:
+    """Coalescing miss tracker keyed by VPN."""
+
+    def __init__(self, engine: Engine, name: str = "mshr") -> None:
+        self.engine = engine
+        self.stats = StatsGroup(name)
+        self._pending: Dict[int, List[Event]] = {}
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._pending
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def allocate(self, vpn: int) -> bool:
+        """Try to become primary for ``vpn``.
+
+        Returns True if the caller is the primary (it must eventually call
+        :meth:`complete`); False if a miss for this VPN is already in
+        flight (the caller should :meth:`wait` instead).
+        """
+        if vpn in self._pending:
+            return False
+        self._pending[vpn] = []
+        self.stats.counter("primary_misses").add()
+        return True
+
+    def wait(self, vpn: int) -> Event:
+        """Event fired (with the fill value) when the primary completes."""
+        if vpn not in self._pending:
+            raise KeyError(f"no outstanding miss for VPN {vpn:#x}")
+        ev = self.engine.event()
+        self._pending[vpn].append(ev)
+        self.stats.counter("coalesced_misses").add()
+        return ev
+
+    def complete(self, vpn: int, value: Any = None) -> int:
+        """Primary finished: release all coalesced waiters.
+
+        Returns the number of waiters released.
+        """
+        waiters = self._pending.pop(vpn, None)
+        if waiters is None:
+            raise KeyError(f"no outstanding miss for VPN {vpn:#x}")
+        for ev in waiters:
+            ev.succeed(value)
+        return len(waiters)

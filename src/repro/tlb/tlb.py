@@ -1,0 +1,89 @@
+"""Set-associative TLBs with LRU replacement (Table 2 geometries).
+
+The same class models the per-CU L1 TLB (32 entries, fully associative,
+1-cycle) and the GPU-shared L2 TLB (512 entries, 16-way, 10-cycle).
+Entries map VPN → PTE word; shootdowns remove entries immediately, which
+is the behaviour both the baseline and IDYLL keep (§6.3: "upon receiving
+an invalidation request, the TLB is immediately invalidated").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from ..config import TLBConfig
+from ..sim.stats import StatsGroup
+
+__all__ = ["TLB"]
+
+
+class TLB:
+    """One TLB level: ``sets`` LRU sets of ``associativity`` ways."""
+
+    def __init__(self, config: TLBConfig, name: str = "tlb") -> None:
+        self.config = config
+        self.name = name
+        self.stats = StatsGroup(name)
+        self._sets: List["OrderedDict[int, int]"] = [
+            OrderedDict() for _ in range(config.sets)
+        ]
+
+    def _set_for(self, vpn: int) -> "OrderedDict[int, int]":
+        return self._sets[vpn % self.config.sets]
+
+    @property
+    def lookup_latency(self) -> int:
+        return self.config.lookup_latency
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        """PTE word on hit (refreshing LRU), None on miss."""
+        entry_set = self._set_for(vpn)
+        word = entry_set.get(vpn)
+        if word is None:
+            self.stats.counter("misses").add()
+            return None
+        entry_set.move_to_end(vpn)
+        self.stats.counter("hits").add()
+        return word
+
+    def probe(self, vpn: int) -> bool:
+        """Presence check without touching LRU or stats."""
+        return vpn in self._set_for(vpn)
+
+    def peek(self, vpn: int) -> Optional[int]:
+        """Entry lookup without touching LRU or stats (simulator-internal)."""
+        return self._set_for(vpn).get(vpn)
+
+    def insert(self, vpn: int, word: int) -> None:
+        entry_set = self._set_for(vpn)
+        if vpn in entry_set:
+            entry_set[vpn] = word
+            entry_set.move_to_end(vpn)
+            return
+        if len(entry_set) >= self.config.associativity:
+            entry_set.popitem(last=False)
+            self.stats.counter("evictions").add()
+        entry_set[vpn] = word
+
+    def shootdown(self, vpn: int) -> bool:
+        """Invalidate one translation; True iff it was present."""
+        entry_set = self._set_for(vpn)
+        if vpn in entry_set:
+            del entry_set[vpn]
+            self.stats.counter("shootdowns").add()
+            return True
+        return False
+
+    def flush(self) -> None:
+        for entry_set in self._sets:
+            entry_set.clear()
+
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def hit_rate(self) -> float:
+        hits = self.stats.counter("hits").value
+        misses = self.stats.counter("misses").value
+        total = hits + misses
+        return hits / total if total else 0.0

@@ -1,0 +1,14 @@
+"""UVM driver substrate: faults, migration policies, replication."""
+
+from .driver import UVMDriver
+from .fault import FarFault
+from .migration import AccessCounters, should_migrate_on_fault
+from .replication import ReplicaDirectory
+
+__all__ = [
+    "UVMDriver",
+    "FarFault",
+    "AccessCounters",
+    "should_migrate_on_fault",
+    "ReplicaDirectory",
+]

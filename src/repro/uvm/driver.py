@@ -1,0 +1,395 @@
+"""The host-side UVM driver (§3.2, §3.3, §6.2).
+
+The driver owns the centralized host page table (the authoritative
+VPN → location mapping for the whole system), services far faults in
+batches of up to 256, runs the page-migration policy, and orchestrates
+PTE shootdowns — broadcast in the baseline, directory-filtered under
+IDYLL, instantaneous under the zero-latency-invalidation ideal.
+
+Pages start in CPU memory; a GPU's first touch migrates the page in
+(all policies).  Thereafter location is governed by the configured
+:class:`~repro.config.MigrationPolicy`, or by read-replication when
+``page_replication`` is enabled (§7.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..config import (
+    DirectoryKind,
+    InvalidationScheme,
+    MigrationPolicy,
+    SystemConfig,
+)
+from ..core.directory import InPTEDirectory
+from ..core.inmem import VMTableDirectory
+from ..interconnect.link import CONTROL_MESSAGE_BYTES
+from ..interconnect.topology import Interconnect
+from ..memory import pte as pte_bits
+from ..memory.address import AddressLayout
+from ..memory.page_table import PageTable
+from ..memory.physmem import PhysicalMemory
+from ..sim.engine import AllOf, Engine, Event
+from ..sim.process import Gate, Resource, Store
+from ..sim.stats import StatsGroup
+from .fault import FarFault
+from .migration import AccessCounters
+from .replication import ReplicaDirectory
+
+__all__ = ["UVMDriver"]
+
+#: concurrent host page-table walks; the host walk path is high-bandwidth
+#: relative to GPU walkers (§7.1 discussion).
+HOST_WALKER_THREADS = 16
+
+#: schemes whose shootdowns are filtered by a residency directory.
+_DIRECTORY_SCHEMES = (InvalidationScheme.DIRECTORY, InvalidationScheme.IDYLL)
+
+
+class UVMDriver:
+    """Centralized UVM driver for one multi-GPU system."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: SystemConfig,
+        interconnect: Interconnect,
+        layout: AddressLayout,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.interconnect = interconnect
+        self.layout = layout
+        self.stats = StatsGroup("uvm")
+        # Host page tables are 5-level in the paper's Fig. 9.
+        host_layout = AddressLayout(layout.page_size, levels=layout.levels + 1)
+        self.host_page_table = PageTable(host_layout, "host_pt")
+        self.directory = self._build_directory()
+        self.counters = AccessCounters(config.uvm)
+        self.replicas = ReplicaDirectory()
+        self.fault_queue: Store = Store(engine)
+        self.host_walkers = Resource(engine, HOST_WALKER_THREADS)
+        self._batch_slots = Resource(engine, 4)
+        self.gpus: List = []
+        self._gates: Dict[int, Gate] = {}
+        self._migrating: Set[int] = set()
+        #: per-page migration generation — a fault reply is only valid if
+        #: no migration completed between resolution and delivery
+        #: (otherwise the GPU would install a stale mapping that the
+        #: migration's shootdown already passed by).
+        self._generation: Dict[int, int] = {}
+        #: pages pinned by the first-touch policy.
+        self._pinned: Set[int] = set()
+        engine.process(self._fault_service_loop())
+
+    def _build_directory(self):
+        if self.config.invalidation_scheme not in _DIRECTORY_SCHEMES:
+            return None
+        if self.config.directory_kind is DirectoryKind.IN_MEMORY:
+            return VMTableDirectory(self.config.num_gpus, self.config.vm_cache)
+        return InPTEDirectory(
+            self.host_page_table, self.config.num_gpus, self.config.directory_bits
+        )
+
+    def attach_gpus(self, gpus: List) -> None:
+        """Late-bind the GPU objects (driver and GPUs reference each other)."""
+        if len(gpus) != self.config.num_gpus:
+            raise ValueError("GPU count does not match config")
+        self.gpus = gpus
+
+    # ------------------------------------------------------------------
+    # Far faults
+    # ------------------------------------------------------------------
+
+    def raise_far_fault(self, gpu_id: int, vpn: int, is_write: bool) -> Event:
+        """Called by a GPU's GMMU.  Covers the interrupt over PCIe, driver
+        batching, resolution, and the reply; fires with the new PTE word."""
+        fault = FarFault(gpu_id, vpn, is_write, self.engine.now, self.engine.event())
+        self.stats.counter("far_faults").add()
+        self.engine.process(self._deliver_fault(fault))
+        return fault.resolved
+
+    def _deliver_fault(self, fault: FarFault):
+        # GPU fault buffer -> interrupt -> driver fetches the fault info.
+        yield self.interconnect.gpu_to_host(fault.gpu_id, CONTROL_MESSAGE_BYTES)
+        yield self.fault_queue.put(fault)
+
+    def _fault_service_loop(self):
+        """Batch faults (≤256 per batch); a bounded pool of service
+        contexts resolves batches concurrently (the driver's worker
+        threads), so one slow batch does not stall fault intake."""
+        cfg = self.config.uvm
+        while True:
+            first: FarFault = yield self.fault_queue.get()
+            batch: List[FarFault] = [first]
+            # Collection window: let concurrent faults coalesce into the batch.
+            yield cfg.fault_batch_timeout
+            while len(batch) < cfg.fault_batch_size:
+                ok, fault = self.fault_queue.try_get()
+                if not ok:
+                    break
+                batch.append(fault)
+            self.stats.counter("fault_batches").add()
+            self.stats.histogram("batch_size").record(len(batch))
+            yield self._batch_slots.request()
+            self.engine.process(self._service_batch(batch))
+
+    def _service_batch(self, batch: List[FarFault]):
+        try:
+            yield self.config.uvm.fault_handling_latency
+            resolutions = [
+                self.engine.process(self._resolve_and_reply(f)) for f in batch
+            ]
+            yield AllOf(self.engine, resolutions)
+        finally:
+            self._batch_slots.release()
+
+    #: bound on stale-reply re-resolutions; retry passes never migrate,
+    #: so two racing on-touch faults cannot ping-pong a page forever.
+    MAX_REPLY_RETRIES = 3
+
+    def _resolve_and_reply(self, fault: FarFault):
+        attempts = 0
+        while True:
+            generation = self._generation.get(fault.vpn, 0)
+            word = yield self.engine.process(
+                self._resolve(fault, allow_migrate=attempts == 0)
+            )
+            yield self.interconnect.host_to_gpu(fault.gpu_id, CONTROL_MESSAGE_BYTES)
+            if self._generation.get(fault.vpn, 0) == generation and fault.vpn not in self._gates:
+                break
+            attempts += 1
+            if attempts > self.MAX_REPLY_RETRIES:
+                # Accept the (possibly already-stale) mapping: the GPU
+                # will simply fault again on its next shootdown.
+                self.stats.counter("stale_replies_accepted").add()
+                break
+            # The page migrated underneath us: the resolved mapping is
+            # stale; re-resolve rather than install it.
+            self.stats.counter("stale_replies_retried").add()
+        self.stats.latency("fault_latency").record(self.engine.now - fault.raised_at)
+        fault.resolved.succeed(word)
+
+    def _resolve(self, fault: FarFault, allow_migrate: bool = True):
+        """Resolve one fault against the host page table; returns the PTE
+        word the faulting GPU should install."""
+        vpn, gpu_id = fault.vpn, fault.gpu_id
+        gate = self._gates.get(vpn)
+        if gate is not None:
+            yield gate.wait()
+
+        yield self.host_walkers.request()
+        yield self.config.uvm.host_walk_latency
+        self.host_walkers.release()
+
+        word = self.host_page_table.translate(vpn)
+        if word is None:
+            return (yield self.engine.process(self._first_touch(vpn, gpu_id)))
+
+        owner = PhysicalMemory.owner_of(pte_bits.ppn(word))
+        if owner == gpu_id:
+            self._record_resident(vpn, gpu_id)
+            return pte_bits.make_pte(pte_bits.ppn(word))
+
+        if self.config.page_replication:
+            return (
+                yield self.engine.process(
+                    self._resolve_replicated(vpn, gpu_id, owner, word, fault.is_write)
+                )
+            )
+
+        if self.config.migration_policy is MigrationPolicy.ON_TOUCH and allow_migrate:
+            yield self.engine.process(self._migrate(vpn, gpu_id, push_mapping=False))
+            new_word = self.host_page_table.translate(vpn)
+            if new_word is not None and PhysicalMemory.owner_of(pte_bits.ppn(new_word)) == gpu_id:
+                return pte_bits.make_pte(pte_bits.ppn(new_word))
+            # Migration raced/failed; fall through to a remote mapping.
+            word = new_word if new_word is not None else word
+            owner = PhysicalMemory.owner_of(pte_bits.ppn(word))
+
+        # first-touch (pinned) and access-counter: hand out a remote mapping.
+        self._record_resident(vpn, gpu_id)
+        self.stats.counter("remote_mappings").add()
+        return pte_bits.make_remote_pte(pte_bits.ppn(word), owner)
+
+    def _first_touch(self, vpn: int, gpu_id: int):
+        """Page still in CPU memory: migrate it to the first-touching GPU."""
+        # Another fault may have populated the page while we walked.
+        word = self.host_page_table.translate(vpn)
+        if word is not None:
+            owner = PhysicalMemory.owner_of(pte_bits.ppn(word))
+            if owner == gpu_id:
+                self._record_resident(vpn, gpu_id)
+                return pte_bits.make_pte(pte_bits.ppn(word))
+            self._record_resident(vpn, gpu_id)
+            return pte_bits.make_remote_pte(pte_bits.ppn(word), owner)
+        ppn = self.gpus[gpu_id].memory.allocate(vpn)
+        self.host_page_table.set_entry(vpn, pte_bits.make_pte(ppn))
+        yield self.interconnect.host_to_gpu(gpu_id, self.config.page_size)
+        self._record_resident(vpn, gpu_id)
+        if self.config.migration_policy is MigrationPolicy.FIRST_TOUCH:
+            self._pinned.add(vpn)
+        self.stats.counter("first_touch_migrations").add()
+        return pte_bits.make_pte(ppn)
+
+    def _record_resident(self, vpn: int, gpu_id: int) -> None:
+        """Directory bookkeeping: ``gpu_id`` is about to hold a valid
+        mapping for ``vpn`` (§6.2 sets the access bit at fault-resolution
+        replay time)."""
+        if self.directory is not None and self.host_page_table.entry(vpn) is not None:
+            self.directory.record_access(vpn, gpu_id)
+
+    def note_transfw_mapping(self, vpn: int, gpu_id: int) -> None:
+        """A Trans-FW forwarded translation gave ``gpu_id`` a valid remote
+        mapping without driver involvement; keep the directory coherent."""
+        self._record_resident(vpn, gpu_id)
+        self.stats.counter("transfw_mappings").add()
+
+    # ------------------------------------------------------------------
+    # Access counters & migration triggers
+    # ------------------------------------------------------------------
+
+    def note_remote_access(self, gpu_id: int, vpn: int) -> None:
+        """Hardware access counter tick for a remote data access."""
+        if self.config.page_replication:
+            return
+        if self.config.migration_policy is not MigrationPolicy.ACCESS_COUNTER:
+            return
+        if vpn in self._pinned:
+            return
+        if self.counters.note_remote_access(vpn, gpu_id) and vpn not in self._migrating:
+            self._migrating.add(vpn)
+            self.engine.process(self._migration_request(gpu_id, vpn))
+
+    def _migration_request(self, gpu_id: int, vpn: int):
+        """GPU → driver migration request (§3.3 step 1), then migration."""
+        try:
+            yield self.interconnect.gpu_to_host(gpu_id, CONTROL_MESSAGE_BYTES)
+            yield self.engine.process(self._migrate(vpn, gpu_id, push_mapping=True))
+        finally:
+            self._migrating.discard(vpn)
+
+    def migration_gate(self, vpn: int) -> Optional[Gate]:
+        """Gate closed while ``vpn`` is mid-migration (requests must wait)."""
+        return self._gates.get(vpn)
+
+    # ------------------------------------------------------------------
+    # Migration (§3.3 steps 2-4) with shootdown orchestration
+    # ------------------------------------------------------------------
+
+    def _migrate(self, vpn: int, dst: int, push_mapping: bool):
+        if vpn in self._gates:
+            yield self._gates[vpn].wait()
+            return
+        word = self.host_page_table.translate(vpn)
+        if word is None:
+            return
+        old_ppn = pte_bits.ppn(word)
+        src = PhysicalMemory.owner_of(old_ppn)
+        if src == dst:
+            return
+
+        gate = Gate(self.engine, open_=False)
+        self._gates[vpn] = gate
+        t_request = self.engine.now
+        self.stats.counter("migrations").add()
+        scheme = self.config.invalidation_scheme
+
+        host_walk = self.engine.process(self._host_invalidate_walk(vpn))
+        if scheme is InvalidationScheme.ZERO_LATENCY:
+            # Ideal: every GPU's PTE updated instantaneously, no contention.
+            for gpu in self.gpus:
+                gpu.apply_instant_invalidation(vpn)
+            yield host_walk
+        elif scheme in _DIRECTORY_SCHEMES:
+            # Must wait for the host walk to learn the access bits (§6.2).
+            holders = yield host_walk
+            acks = [
+                self.engine.process(self._send_invalidation(g, vpn, dst))
+                for g in (holders or [])
+            ]
+            yield AllOf(self.engine, acks)
+        else:
+            # Baseline: broadcast immediately, in parallel with the host walk.
+            acks = [
+                self.engine.process(self._send_invalidation(g, vpn, dst))
+                for g in range(self.config.num_gpus)
+            ]
+            yield AllOf(self.engine, [host_walk] + acks)
+
+        waiting = self.engine.now - t_request
+        self.stats.latency("migration_waiting").record(waiting)
+
+        # §3.3 step 4: the actual data transfer.
+        new_ppn = self.gpus[dst].memory.allocate(vpn)
+        yield self.interconnect.gpu_to_gpu(src, dst, self.config.page_size)
+        self.gpus[src].memory.free(old_ppn)
+        self.host_page_table.set_entry(vpn, pte_bits.make_pte(new_ppn))
+        self._record_resident(vpn, dst)
+        self.counters.reset_page(vpn)
+
+        if push_mapping:
+            yield self.interconnect.host_to_gpu(dst, CONTROL_MESSAGE_BYTES)
+            yield self.gpus[dst].deliver_mapping(vpn, pte_bits.make_pte(new_ppn))
+
+        self.stats.latency("migration_total").record(self.engine.now - t_request)
+        self._generation[vpn] = self._generation.get(vpn, 0) + 1
+        del self._gates[vpn]
+        gate.open()
+
+    def _host_invalidate_walk(self, vpn: int):
+        """Host-side PT walk that invalidates the mapping and (under
+        IDYLL) reads + clears the directory bits; returns the holders."""
+        yield self.host_walkers.request()
+        latency = self.config.uvm.host_walk_latency
+        holders: Optional[List[int]] = None
+        if self.directory is not None:
+            if isinstance(self.directory, VMTableDirectory):
+                # VM-Cache probe runs in parallel with the walk (§6.4).
+                latency = max(latency, self.directory.lookup_latency_for(vpn))
+            holders = self.directory.holders(vpn)
+            self.directory.clear(vpn)
+        yield latency
+        self.host_page_table.invalidate(vpn)
+        self.host_walkers.release()
+        return holders
+
+    def _send_invalidation(self, gpu_id: int, vpn: int, dst: int):
+        """Driver → GPU invalidation round trip (§3.3 steps 2-3)."""
+        self.stats.counter("invalidations_sent").add()
+        yield self.interconnect.host_to_gpu(gpu_id, CONTROL_MESSAGE_BYTES)
+        ack = self.gpus[gpu_id].receive_invalidation(vpn, dst)
+        yield ack
+        yield self.interconnect.gpu_to_host(gpu_id, CONTROL_MESSAGE_BYTES)
+
+    # ------------------------------------------------------------------
+    # Page replication (§7.4)
+    # ------------------------------------------------------------------
+
+    def _resolve_replicated(self, vpn: int, gpu_id: int, owner: int, word: int, is_write: bool):
+        if not is_write:
+            if self.replicas.has_replica(vpn, gpu_id):
+                return pte_bits.make_pte(self.replicas.replica_ppn(vpn, gpu_id), writable=False)
+            replica_ppn = self.gpus[gpu_id].memory.allocate(vpn)
+            yield self.interconnect.gpu_to_gpu(owner, gpu_id, self.config.page_size)
+            self.replicas.add_replica(vpn, gpu_id, replica_ppn)
+            self._record_resident(vpn, gpu_id)
+            self.stats.counter("replications").add()
+            return pte_bits.make_pte(replica_ppn, writable=False)
+        # Writes collapse all replicas back to the home copy (§7.4).
+        yield self.engine.process(self.collapse_replicas(vpn))
+        self._record_resident(vpn, gpu_id)
+        return pte_bits.make_remote_pte(pte_bits.ppn(word), owner)
+
+    def collapse_replicas(self, vpn: int):
+        """Invalidate and free every replica of ``vpn`` (write collapse)."""
+        replicas = self.replicas.collapse(vpn)
+        if not replicas:
+            return
+        acks = []
+        for holder, replica_ppn in replicas.items():
+            acks.append(self.engine.process(self._send_invalidation(holder, vpn, holder)))
+            self.gpus[holder].memory.free(replica_ppn)
+        yield AllOf(self.engine, acks)
+        self.stats.counter("replica_collapses").add()

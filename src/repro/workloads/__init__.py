@@ -1,0 +1,21 @@
+"""Workloads: the Table-3 suite, DNN models, and pattern primitives."""
+
+from .base import Access, Workload, partition_pages
+from .dnn import DNN_MODELS, build_dnn_workload
+from .io import load_workload, save_workload
+from .suite import APP_ORDER, APPS, FIG1_APPS, AppSpec, build_workload
+
+__all__ = [
+    "Access",
+    "Workload",
+    "partition_pages",
+    "DNN_MODELS",
+    "load_workload",
+    "save_workload",
+    "build_dnn_workload",
+    "APP_ORDER",
+    "APPS",
+    "FIG1_APPS",
+    "AppSpec",
+    "build_workload",
+]

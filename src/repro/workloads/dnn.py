@@ -1,0 +1,191 @@
+"""DNN workloads (§7.6): VGG16 and ResNet18, layer-parallel across GPUs.
+
+The paper parallelises network layers across the GPUs ([39]) and trains
+on Tiny-ImageNet; weight and boundary-activation sharing cause the page
+migrations IDYLL targets.  We derive per-layer activation/weight page
+counts from the real architectures (224×224→64…512 for VGG16,
+64→512 basic blocks for ResNet18) at a reduced batch size, then emit a
+forward+backward trace per step:
+
+* each layer's owner streams its weights (heavy reuse, local);
+* it reads the previous layer's output activations — remote whenever the
+  previous layer lives on another GPU, producing boundary pages that
+  ping-pong between neighbours step after step;
+* the backward pass reverses the flow and re-touches weights (gradient
+  pages), which is the "substantial weight sharing" traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim.rng import stream
+from .base import Access, Workload
+from . import patterns
+
+__all__ = ["LayerSpec", "VGG16_LAYERS", "RESNET18_LAYERS", "build_dnn_workload", "DNN_MODELS"]
+
+#: bytes per element (fp16 training).
+ELEMENT_BYTES = 2
+PAGE_BYTES = 4096
+DNN_BASE_VPN = 1 << 21
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One conv/fc layer: output feature-map size and weight volume."""
+
+    name: str
+    out_h: int
+    out_w: int
+    out_c: int
+    kernel: int
+    in_c: int
+
+    def activation_pages(self, batch: int, shrink: int) -> int:
+        elems = batch * self.out_h * self.out_w * self.out_c
+        return max(1, elems * ELEMENT_BYTES // PAGE_BYTES // shrink)
+
+    def weight_pages(self, shrink: int) -> int:
+        elems = self.kernel * self.kernel * self.in_c * self.out_c
+        return max(1, elems * ELEMENT_BYTES // PAGE_BYTES // shrink)
+
+
+def _vgg_block(name: str, h: int, c_in: int, c_out: int, convs: int) -> List[LayerSpec]:
+    layers = [LayerSpec(f"{name}_1", h, h, c_out, 3, c_in)]
+    for i in range(2, convs + 1):
+        layers.append(LayerSpec(f"{name}_{i}", h, h, c_out, 3, c_out))
+    return layers
+
+
+VGG16_LAYERS: List[LayerSpec] = (
+    _vgg_block("conv1", 224, 3, 64, 2)
+    + _vgg_block("conv2", 112, 64, 128, 2)
+    + _vgg_block("conv3", 56, 128, 256, 3)
+    + _vgg_block("conv4", 28, 256, 512, 3)
+    + _vgg_block("conv5", 14, 512, 512, 3)
+    + [
+        LayerSpec("fc6", 1, 1, 4096, 7, 512),
+        LayerSpec("fc7", 1, 1, 4096, 1, 4096),
+        LayerSpec("fc8", 1, 1, 200, 1, 4096),  # Tiny-ImageNet: 200 classes
+    ]
+)
+
+
+def _res_block(name: str, h: int, c_in: int, c_out: int) -> List[LayerSpec]:
+    return [
+        LayerSpec(f"{name}a", h, h, c_out, 3, c_in),
+        LayerSpec(f"{name}b", h, h, c_out, 3, c_out),
+    ]
+
+
+RESNET18_LAYERS: List[LayerSpec] = (
+    [LayerSpec("conv1", 112, 112, 64, 7, 3)]
+    + _res_block("layer1.0", 56, 64, 64)
+    + _res_block("layer1.1", 56, 64, 64)
+    + _res_block("layer2.0", 28, 64, 128)
+    + _res_block("layer2.1", 28, 128, 128)
+    + _res_block("layer3.0", 14, 128, 256)
+    + _res_block("layer3.1", 14, 256, 256)
+    + _res_block("layer4.0", 7, 256, 512)
+    + _res_block("layer4.1", 7, 512, 512)
+    + [LayerSpec("fc", 1, 1, 200, 1, 512)]
+)
+
+DNN_MODELS = {"VGG16": VGG16_LAYERS, "ResNet18": RESNET18_LAYERS}
+
+
+def _assign_layers(num_layers: int, num_gpus: int) -> List[int]:
+    """Layer → GPU assignment, contiguous blocks."""
+    per = max(1, num_layers // num_gpus)
+    return [min(i // per, num_gpus - 1) for i in range(num_layers)]
+
+
+def build_dnn_workload(
+    model: str,
+    num_gpus: int = 4,
+    lanes: int = 4,
+    accesses_per_lane: int = 1200,
+    seed: int = 7,
+    batch: int = 4,
+    shrink: int = 64,
+) -> Workload:
+    """Layer-parallel training trace for ``model`` (VGG16 / ResNet18).
+
+    ``shrink`` scales page counts down from the real footprint so trace
+    sizes stay laptop-friendly; relative layer sizes are preserved.
+    """
+    if model not in DNN_MODELS:
+        raise KeyError(f"unknown model {model!r}; know {sorted(DNN_MODELS)}")
+    layers = DNN_MODELS[model]
+    owner = _assign_layers(len(layers), num_gpus)
+
+    # Lay out weight and activation page ranges contiguously.
+    weight_ranges: List[range] = []
+    act_ranges: List[range] = []
+    cursor = DNN_BASE_VPN
+    for layer in layers:
+        wp = layer.weight_pages(shrink)
+        weight_ranges.append(range(cursor, cursor + wp))
+        cursor += wp
+        ap = layer.activation_pages(batch, shrink)
+        act_ranges.append(range(cursor, cursor + ap))
+        cursor += ap
+
+    gap = 30  # DNN layers are compute-dense relative to the kernels above
+    traces: List[List[List[Access]]] = [[] for _ in range(num_gpus)]
+    for gpu in range(num_gpus):
+        my_layers = [i for i, o in enumerate(owner) if o == gpu]
+        for lane in range(lanes):
+            rng = stream(seed, f"{model}/g{gpu}/l{lane}")
+            lane_trace: List[Access] = []
+            # Forward then backward over this GPU's layers, repeated steps.
+            budget = accesses_per_lane
+            step = 0
+            while budget > 0:
+                order = my_layers if step % 2 == 0 else list(reversed(my_layers))
+                backward = step % 2 == 1
+                for li in order:
+                    if budget <= 0:
+                        break
+                    n = min(budget, max(6, accesses_per_lane // (len(my_layers) * 6 or 1)))
+                    n_w = max(2, int(n * 0.35))
+                    n_shared_w = max(1, int(n * 0.15))
+                    n_in = max(2, int(n * 0.25))
+                    n_out = max(1, n - n_w - n_shared_w - n_in)
+                    weights = patterns.streaming(
+                        rng, weight_ranges[li], n_w, gap, 0.15, run_length=6,
+                        start_fraction=rng.random(),
+                    )
+                    # §7.6: "substantial weight sharing" — gradient
+                    # all-reduce style reads of other GPUs' layer weights.
+                    other_layers = [i for i in range(len(layers)) if owner[i] != gpu]
+                    shared_li = rng.choice(other_layers) if other_layers else li
+                    shared_w = patterns.streaming(
+                        rng, weight_ranges[shared_li], n_shared_w, gap, 0.05,
+                        run_length=8, start_fraction=rng.random(),
+                    )
+                    # Forward reads the previous layer's activations;
+                    # backward writes its gradient there — boundary pages
+                    # ping-pong between adjacent pipeline stages.
+                    prev = act_ranges[li - 1] if li > 0 else act_ranges[li]
+                    inputs = patterns.streaming(
+                        rng, prev, n_in, gap, 0.5 if backward else 0.0,
+                        run_length=6, start_fraction=rng.random(),
+                    )
+                    outputs = patterns.streaming(
+                        rng, act_ranges[li], n_out, gap, 0.0 if backward else 1.0,
+                        run_length=6, start_fraction=rng.random(),
+                    )
+                    lane_trace.extend(
+                        patterns.mixed(rng, [weights, shared_w, inputs, outputs])
+                    )
+                    budget -= n
+                step += 1
+            traces[gpu].append(lane_trace[:accesses_per_lane])
+    return Workload(
+        name=model,
+        traces=traces,
+        params={"batch": batch, "shrink": shrink, "layers": len(layers)},
+    )

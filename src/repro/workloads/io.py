@@ -1,0 +1,65 @@
+"""Workload (trace) serialisation.
+
+Traces are saved as compact JSON so experiments can be replayed outside
+the generators (e.g. traces captured from a real profiler, or exact
+workloads shared between machines).  Access tuples are flattened to
+parallel integer arrays per lane to keep files small and loading fast.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .base import Workload
+
+__all__ = ["save_workload", "load_workload"]
+
+FORMAT_VERSION = 1
+
+
+def save_workload(workload: Workload, path: Union[str, Path]) -> None:
+    """Write ``workload`` to ``path`` as JSON."""
+    doc = {
+        "format": FORMAT_VERSION,
+        "name": workload.name,
+        "page_size": workload.page_size,
+        "params": workload.params,
+        "gpus": [
+            [
+                {
+                    "gaps": [g for g, _v, _w in lane],
+                    "vpns": [v for _g, v, _w in lane],
+                    "writes": [int(w) for _g, _v, w in lane],
+                }
+                for lane in gpu
+            ]
+            for gpu in workload.traces
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, separators=(",", ":")))
+
+
+def load_workload(path: Union[str, Path]) -> Workload:
+    """Read a workload previously written by :func:`save_workload`."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format {doc.get('format')!r}")
+    traces = []
+    for gpu in doc["gpus"]:
+        lanes = []
+        for lane in gpu:
+            gaps, vpns, writes = lane["gaps"], lane["vpns"], lane["writes"]
+            if not (len(gaps) == len(vpns) == len(writes)):
+                raise ValueError("corrupt trace: array length mismatch")
+            lanes.append(
+                [(g, v, bool(w)) for g, v, w in zip(gaps, vpns, writes)]
+            )
+        traces.append(lanes)
+    return Workload(
+        name=doc["name"],
+        traces=traces,
+        page_size=doc["page_size"],
+        params=doc.get("params", {}),
+    )

@@ -1,0 +1,201 @@
+"""Reusable access-pattern primitives (§4: random / adjacent /
+scatter-gather).
+
+Each primitive emits ``(gap, vpn, is_write)`` records for one lane.
+They are composed by :mod:`repro.workloads.suite` into the nine
+Table-3 applications.  All randomness comes from a caller-supplied
+:class:`random.Random`, so traces are deterministic per (seed, app,
+gpu, lane).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Sequence
+
+from .base import Access
+
+__all__ = [
+    "streaming",
+    "uniform_random",
+    "hot_set",
+    "strided",
+    "mixed",
+]
+
+
+def _gap(rng: random.Random, mean_gap: int) -> int:
+    """Jittered compute gap around the app's mean (±50%)."""
+    if mean_gap <= 0:
+        return 0
+    return rng.randint(max(0, mean_gap // 2), mean_gap + mean_gap // 2)
+
+
+def streaming(
+    rng: random.Random,
+    pages: Sequence[int],
+    count: int,
+    mean_gap: int,
+    write_ratio: float,
+    run_length: int = 1,
+    start_fraction: float = 0.0,
+) -> List[Access]:
+    """Sequential sweep over ``pages``, ``run_length`` accesses per page
+    (element-level reuse within a page), wrapping around.
+
+    High ``run_length`` → strong TLB locality → low MPKI.
+    """
+    if not pages:
+        raise ValueError("streaming needs a non-empty page list")
+    out: List[Access] = []
+    idx = int(start_fraction * len(pages)) % len(pages)
+    produced = 0
+    while produced < count:
+        vpn = pages[idx % len(pages)]
+        for _ in range(min(run_length, count - produced)):
+            out.append((_gap(rng, mean_gap), vpn, rng.random() < write_ratio))
+            produced += 1
+        idx += 1
+    return out
+
+
+def uniform_random(
+    rng: random.Random,
+    pages: Sequence[int],
+    count: int,
+    mean_gap: int,
+    write_ratio: float,
+) -> List[Access]:
+    """Uniformly random page picks — the worst-case TLB pattern."""
+    if not pages:
+        raise ValueError("uniform_random needs a non-empty page list")
+    return [
+        (_gap(rng, mean_gap), rng.choice(pages), rng.random() < write_ratio)
+        for _ in range(count)
+    ]
+
+
+def hot_set(
+    rng: random.Random,
+    pages: Sequence[int],
+    count: int,
+    mean_gap: int,
+    write_ratio: float,
+    hot_pages: int,
+) -> List[Access]:
+    """Random accesses over a small hot subset (e.g. KMeans centroids)."""
+    hot = list(pages[: max(1, hot_pages)])
+    return uniform_random(rng, hot, count, mean_gap, write_ratio)
+
+
+def strided(
+    rng: random.Random,
+    pages: Sequence[int],
+    count: int,
+    mean_gap: int,
+    write_ratio: float,
+    stride: int,
+) -> List[Access]:
+    """Fixed-stride page walk (matrix-transpose column writes): every
+    access lands ``stride`` pages away, wrapping — near-zero page reuse."""
+    if not pages:
+        raise ValueError("strided needs a non-empty page list")
+    out: List[Access] = []
+    idx = rng.randrange(len(pages))
+    for _ in range(count):
+        out.append((_gap(rng, mean_gap), pages[idx], rng.random() < write_ratio))
+        idx = (idx + stride) % len(pages)
+    return out
+
+
+def zipf(
+    rng: random.Random,
+    pages: Sequence[int],
+    count: int,
+    mean_gap: int,
+    write_ratio: float,
+    s: float = 0.8,
+    shuffle_seed: int = 0,
+    block: int = 8,
+) -> List[Access]:
+    """Zipf-distributed page picks — hot heads shared by every GPU
+    (PageRank's power-law vertex degrees).  The rank→page mapping is
+    shuffled deterministically by ``shuffle_seed`` at ``block``
+    granularity: hot pages scatter across the footprint but stay
+    spatially clustered, reproducing the paper's observation that
+    migrating pages are nearby in the address space (§6.3)."""
+    if not pages:
+        raise ValueError("zipf needs a non-empty page list")
+    blocks = [list(pages[i: i + block]) for i in range(0, len(pages), block)]
+    random.Random(shuffle_seed).shuffle(blocks)
+    order = [vpn for blk in blocks for vpn in blk]
+    weights = [1.0 / (rank + 1) ** s for rank in range(len(order))]
+    cum: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cum.append(acc)
+    picks = rng.choices(order, cum_weights=cum, k=count)
+    return [(_gap(rng, mean_gap), vpn, rng.random() < write_ratio) for vpn in picks]
+
+
+def phased_hot(
+    rng: random.Random,
+    pages: Sequence[int],
+    count: int,
+    mean_gap: int,
+    write_ratio: float,
+    gpu: int,
+    num_gpus: int,
+    phases: int = 3,
+    dominance: float = 0.75,
+) -> List[Access]:
+    """Hot pages with *rotating per-phase affinity*.
+
+    Real applications run in phases during which one GPU dominates the
+    accesses to a given hot page; that is what makes counter-based
+    migration profitable (the migrated page serves many local accesses
+    before affinity moves on) while first-touch strands the page remotely
+    and on-touch ping-pongs on the minority traffic — the Fig. 2
+    ordering.  Each phase rotates page-block affinity by one GPU; a lane
+    picks an *owned* hot page with probability ``dominance``, any hot
+    page otherwise.
+    """
+    if not pages:
+        raise ValueError("phased_hot needs a non-empty page list")
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    block = max(1, len(pages) // max(1, num_gpus))
+    per_phase = max(1, count // max(1, phases))
+    out: List[Access] = []
+    for phase in range(phases):
+        owned = [
+            p
+            for i, p in enumerate(pages)
+            if (i // block + phase) % num_gpus == gpu % num_gpus
+        ] or list(pages)
+        n = per_phase if phase < phases - 1 else count - len(out)
+        for _ in range(max(0, n)):
+            pool = owned if rng.random() < dominance else pages
+            vpn = rng.choice(pool)
+            out.append((_gap(rng, mean_gap), vpn, rng.random() < write_ratio))
+    return out[:count]
+
+
+def mixed(rng: random.Random, parts: List[List[Access]]) -> List[Access]:
+    """Interleave several sub-traces into one lane trace, preserving each
+    sub-trace's internal order (random fair merge)."""
+    iters: List[Iterator[Access]] = [iter(p) for p in parts]
+    weights = [len(p) for p in parts]
+    out: List[Access] = []
+    while iters:
+        i = rng.choices(range(len(iters)), weights=weights)[0]
+        try:
+            out.append(next(iters[i]))
+            weights[i] -= 1
+            if weights[i] <= 0:
+                raise StopIteration
+        except StopIteration:
+            del iters[i]
+            del weights[i]
+    return out

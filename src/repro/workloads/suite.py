@@ -1,0 +1,406 @@
+"""The nine Table-3 applications as synthetic trace generators.
+
+Each application reproduces its documented characteristics:
+
+======= ============ =================== ===== ================================
+abbr.   suite        access pattern      MPKI  trace construction
+======= ============ =================== ===== ================================
+KM      Hetero-Mark  adjacent            50.67 global data stream + hot centroids
+PR      Hetero-Mark  random              78.21 random edges over the whole graph
+BS      AMDAPPSDK    random              3.42  staged partner-partition sweeps
+MM      AMDAPPSDK    scatter-gather      11.21 own A panel + global B + own C
+MT      AMDAPPSDK    scatter-gather      185.52 row reads + strided column writes
+SC      AMDAPPSDK    adjacent            15.76 partition stream + halo rows
+ST      SHOC         adjacent            36.24 iterative sweeps + halo ping-pong
+C2D     DNN-Mark     adjacent            21.42 input halo + hot weights, write-heavy
+IM      DNN-Mark     scatter-gather      18.31 patch reads + scattered col writes
+======= ============ =================== ===== ================================
+
+The compute gap per app is what produces the paper's MPKI ordering
+(memory-intensive apps like MT issue accesses nearly back to back);
+the hit-rate component is produced by each pattern's page reuse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..sim.rng import stream
+from .base import Access, Workload
+from . import patterns
+
+__all__ = ["AppSpec", "APPS", "APP_ORDER", "FIG1_APPS", "build_workload"]
+
+#: virtual page number where application data begins.
+BASE_VPN = 1 << 20
+
+#: paper figure ordering (x axes of Figs. 2, 4–7, 11–23).
+APP_ORDER = ["MT", "MM", "PR", "ST", "SC", "KM", "IM", "C2D", "BS"]
+
+#: the Fig.-1 hardware study covers this subset.
+FIG1_APPS = ["MT", "MM", "PR", "ST", "SC", "KM"]
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Static description of one benchmark application."""
+
+    abbr: str
+    full_name: str
+    suite: str
+    paper_mpki: float
+    pattern: str
+    mean_gap: int
+    footprint_pages: int
+    builder: Callable
+
+
+#: Address-space dilation.  Real multi-GB footprints span thousands of
+#: leaf page-table nodes (and many level-2 nodes), so page walks
+#: regularly miss the 128-entry PWC; our scaled-down page counts would
+#: otherwise collapse into a handful of leaf nodes and make every walk a
+#: one-access PWC hit.  We stripe 16 pages per leaf node and give every
+#: leaf node its own level-2 node: a 2048-page footprint then spans 128
+#: leaf nodes and 128 L2 nodes — genuine PWC pressure — while spatial
+#: neighbours still share a leaf node, which is both the IRMB's merge
+#: granularity and its per-entry capacity (16 offsets, §6.3).
+PAGES_PER_LEAF_NODE = 16
+LEAF_NODES_PER_L2_NODE = 1
+
+
+def dilate(index: int) -> int:
+    """Linear page index → dilated VPN (see the dilation note above)."""
+    leaf, offset = divmod(index, PAGES_PER_LEAF_NODE)
+    l2_node, leaf_in_l2 = divmod(leaf, LEAF_NODES_PER_L2_NODE)
+    return BASE_VPN + l2_node * (512 * 512) + leaf_in_l2 * 512 + offset
+
+
+class _Ctx:
+    """Per-build context handed to lane builders."""
+
+    #: per-GPU accesses at which footprints are calibrated (4 lanes x 1200).
+    REFERENCE_ACCESSES_PER_GPU = 4800
+
+    def __init__(self, spec: AppSpec, num_gpus: int, lanes: int, accesses: int, scale: float):
+        self.spec = spec
+        self.num_gpus = num_gpus
+        self.lanes = lanes
+        self.accesses = accesses
+        # Footprints shrink/grow with trace length so coverage, sharing
+        # and TLB pressure stay roughly scale-invariant (identity at the
+        # calibrated default of 4800 accesses per GPU).
+        length_factor = min(4.0, max(0.25, lanes * accesses / self.REFERENCE_ACCESSES_PER_GPU))
+        self.total_pages = max(num_gpus * 32, int(spec.footprint_pages * scale * length_factor))
+        self.all_pages = [dilate(i) for i in range(self.total_pages)]
+        per = self.total_pages // num_gpus
+        self.parts = [
+            self.all_pages[g * per: (g + 1) * per if g < num_gpus - 1 else self.total_pages]
+            for g in range(num_gpus)
+        ]
+
+    @staticmethod
+    def split_region(pages: List[int], n: int) -> List[List[int]]:
+        """Split a page list into n contiguous per-GPU chunks."""
+        per = len(pages) // n
+        return [
+            pages[g * per: (g + 1) * per if g < n - 1 else len(pages)] for g in range(n)
+        ]
+
+    def lane_fraction(self, gpu: int, lane: int) -> float:
+        """Distinct stream phase for each (gpu, lane)."""
+        return ((gpu * self.lanes + lane) / (self.num_gpus * self.lanes)) % 1.0
+
+    def halo_pages(self, gpu: int, width: int = 8) -> List[int]:
+        """Boundary pages of the neighbouring partitions (adjacent apps)."""
+        halo: List[int] = []
+        if gpu > 0:
+            prev = self.parts[gpu - 1]
+            halo.extend(prev[max(0, len(prev) - width):])
+        if gpu < self.num_gpus - 1:
+            nxt = self.parts[gpu + 1]
+            halo.extend(nxt[:width])
+        return halo or list(self.parts[gpu][:width])
+
+    def split(self, *fractions: float) -> List[int]:
+        """Split the per-lane access budget by fractions (sums to budget)."""
+        counts = [int(self.accesses * f) for f in fractions]
+        counts[0] += self.accesses - sum(counts)
+        return counts
+
+
+# ---------------------------------------------------------------------------
+# Per-application lane builders
+# ---------------------------------------------------------------------------
+
+
+def _build_mt(rng, gpu: int, lane: int, ctx: _Ctx) -> List[Access]:
+    """Matrix transpose: sequential row reads of the own input block,
+    column-strided writes scattered over every GPU's output partition
+    (each output page is then re-read by its owner → shared by 2)."""
+    n_read, n_write, n_ownout = ctx.split(0.40, 0.45, 0.15)
+    half = ctx.total_pages // 2
+    input_pages = ctx.all_pages[:half]
+    output_pages = ctx.all_pages[half:]
+    in_parts = ctx.split_region(input_pages, ctx.num_gpus)
+    out_parts = ctx.split_region(output_pages, ctx.num_gpus)
+    gap = ctx.spec.mean_gap
+    reads = patterns.streaming(
+        rng, in_parts[gpu], n_read, gap, 0.0, run_length=5,
+        start_fraction=ctx.lane_fraction(gpu, lane),
+    )
+    # Block (i, j) of the transpose: GPU i writes the i-th sub-block of
+    # every *other* GPU's output partition, column-strided — each output
+    # page has exactly one heavy remote writer plus its reading owner
+    # (the paper's 2-GPU sharing), and that writer drives its migration.
+    remote_out = [
+        p
+        for j, part in enumerate(out_parts)
+        if j != gpu
+        for p in ctx.split_region(part, ctx.num_gpus)[gpu]
+    ] or [p for j, part in enumerate(out_parts) if j != gpu for p in part]
+    stride = max(7, len(remote_out) // 61) | 1  # odd stride ≈ one matrix row
+    writes = patterns.strided(rng, remote_out, n_write, gap, 1.0, stride)
+    own_out = patterns.streaming(
+        rng, out_parts[gpu], n_ownout, gap, 0.0, run_length=8,
+        start_fraction=lane / max(1, ctx.lanes),
+    )
+    return patterns.mixed(rng, [reads, writes, own_out])
+
+
+def _build_mm(rng, gpu: int, lane: int, ctx: _Ctx) -> List[Access]:
+    """Matrix multiply: own A panel, globally shared B panels, own C."""
+    n_a, n_b, n_c = ctx.split(0.25, 0.55, 0.20)
+    a_end = int(ctx.total_pages * 0.4)
+    b_end = int(ctx.total_pages * 0.6)
+    a_parts = ctx.split_region(ctx.all_pages[:a_end], ctx.num_gpus)
+    b_pages = ctx.all_pages[a_end:b_end]
+    c_parts = ctx.split_region(ctx.all_pages[b_end:], ctx.num_gpus)
+    gap = ctx.spec.mean_gap
+    a = patterns.streaming(
+        rng, a_parts[gpu], n_a, gap, 0.0, run_length=6,
+        start_fraction=ctx.lane_fraction(gpu, lane),
+    )
+    # B panels are read by every GPU (blocked GEMM); tile reuse makes the
+    # lead panels hot for all GPUs regardless of trace length.
+    b = patterns.zipf(rng, b_pages, n_b, gap, 0.0, s=0.7, shuffle_seed=3)
+    c = patterns.streaming(
+        rng, c_parts[gpu], n_c, gap, 1.0, run_length=4,
+        start_fraction=ctx.lane_fraction(gpu, lane),
+    )
+    return patterns.mixed(rng, [a, b, c])
+
+
+def _build_pr(rng, gpu: int, lane: int, ctx: _Ctx) -> List[Access]:
+    """PageRank: Zipf edge traversal over the whole graph (power-law
+    vertex degrees make hot vertices shared by every GPU) + rank writes."""
+    n_own, n_hot, n_edge, n_write = ctx.split(0.20, 0.35, 0.30, 0.15)
+    gap = ctx.spec.mean_gap
+    own = patterns.streaming(
+        rng, ctx.parts[gpu], n_own, gap, 0.0, run_length=3,
+        start_fraction=ctx.lane_fraction(gpu, lane),
+    )
+    # High-degree vertices: hot, with phase-rotating GPU affinity as the
+    # frontier sweeps the graph.
+    hot_head = ctx.all_pages[:: 16][: max(16, ctx.total_pages // 16)]
+    hot = patterns.phased_hot(
+        rng, hot_head, n_hot, gap, 0.10, gpu, ctx.num_gpus, phases=4, dominance=0.8,
+    )
+    edges = patterns.zipf(rng, ctx.all_pages, n_edge, gap, 0.0, s=0.6)
+    writes = patterns.zipf(rng, ctx.all_pages, n_write, gap, 1.0, s=0.6)
+    return patterns.mixed(rng, [own, hot, edges, writes])
+
+
+def _build_st(rng, gpu: int, lane: int, ctx: _Ctx) -> List[Access]:
+    """Stencil 2D: iterative sweeps over the own block plus halo rows that
+    ping-pong with the neighbours every iteration."""
+    n_sweep, n_halo = ctx.split(0.75, 0.25)
+    gap = ctx.spec.mean_gap
+    iterations = 6
+    sweeps: List[Access] = []
+    per_iter = max(1, n_sweep // iterations)
+    for it in range(iterations):
+        count = per_iter if it < iterations - 1 else n_sweep - len(sweeps)
+        if count <= 0:
+            break
+        sweeps.extend(
+            patterns.streaming(
+                rng, ctx.parts[gpu], count, gap, 0.25, run_length=3,
+                start_fraction=ctx.lane_fraction(gpu, lane) + 0.13 * it,
+            )
+        )
+    halo = patterns.uniform_random(rng, ctx.halo_pages(gpu, width=20), n_halo, gap, 0.30)
+    return patterns.mixed(rng, [sweeps[:n_sweep], halo])
+
+
+def _build_sc(rng, gpu: int, lane: int, ctx: _Ctx) -> List[Access]:
+    """Simple convolution: one smooth pass, strong row reuse, small halo."""
+    n_sweep, n_halo, n_out = ctx.split(0.65, 0.15, 0.20)
+    gap = ctx.spec.mean_gap
+    sweep = patterns.streaming(
+        rng, ctx.parts[gpu], n_sweep, gap, 0.0, run_length=5,
+        start_fraction=ctx.lane_fraction(gpu, lane),
+    )
+    halo = patterns.uniform_random(rng, ctx.halo_pages(gpu, width=12), n_halo, gap, 0.10)
+    out = patterns.streaming(
+        rng, ctx.parts[gpu], n_out, gap, 1.0, run_length=5,
+        start_fraction=ctx.lane_fraction(gpu, lane) + 0.5,
+    )
+    return patterns.mixed(rng, [sweep, halo, out])
+
+
+def _build_km(rng, gpu: int, lane: int, ctx: _Ctx) -> List[Access]:
+    """KMeans: every GPU streams the whole (shared) point array while
+    hammering a small hot centroid set."""
+    n_stream, n_hot, n_member = ctx.split(0.55, 0.40, 0.05)
+    gap = ctx.spec.mean_gap
+    points = patterns.streaming(
+        rng, ctx.all_pages, n_stream, gap, 0.0, run_length=1,
+        start_fraction=ctx.lane_fraction(gpu, lane),
+    )
+    # Centroid blocks: every GPU hammers them, but the reduction phase
+    # rotates which GPU accumulates which centroid block.
+    hot = patterns.phased_hot(
+        rng, ctx.all_pages[: max(16, ctx.total_pages // 21)], n_hot, gap, 0.10, gpu, ctx.num_gpus,
+        phases=3, dominance=0.8,
+    )
+    members = patterns.streaming(
+        rng, ctx.parts[gpu], n_member, gap, 1.0, run_length=4,
+        start_fraction=ctx.lane_fraction(gpu, lane),
+    )
+    return patterns.mixed(rng, [points, hot, members])
+
+
+def _build_im(rng, gpu: int, lane: int, ctx: _Ctx) -> List[Access]:
+    """Image-to-column: overlapping patch reads, scattered column writes
+    (memory-intensive: tiny compute gap, write-heavy)."""
+    n_patch, n_halo, n_col, n_ownout = ctx.split(0.25, 0.05, 0.55, 0.15)
+    half = ctx.total_pages // 2
+    in_parts = ctx.split_region(ctx.all_pages[:half], ctx.num_gpus)
+    out_pages = ctx.all_pages[half:]
+    out_parts = ctx.split_region(out_pages, ctx.num_gpus)
+    gap = ctx.spec.mean_gap
+    patch = patterns.streaming(
+        rng, in_parts[gpu], n_patch, gap, 0.0, run_length=3,
+        start_fraction=ctx.lane_fraction(gpu, lane),
+    )
+    halo_src: List[int] = []
+    if gpu > 0:
+        halo_src.extend(in_parts[gpu - 1][-6:])
+    if gpu < ctx.num_gpus - 1:
+        halo_src.extend(in_parts[gpu + 1][:6])
+    halo = patterns.uniform_random(rng, halo_src or list(in_parts[gpu][:6]), n_halo, gap, 0.0)
+    # Each GPU's patches unfold into column ranges spread over the other
+    # GPUs' output partitions (scatter writes with one heavy remote writer).
+    remote_out = [p for j, part in enumerate(out_parts) if j != gpu for p in part]
+    if not remote_out:
+        remote_out = list(out_pages)
+    stride = max(5, len(remote_out) // 37) | 1
+    cols = patterns.strided(rng, remote_out, n_col, gap, 1.0, stride)
+    own_out = patterns.streaming(
+        rng, out_parts[gpu], n_ownout, gap, 0.0, run_length=4,
+        start_fraction=ctx.lane_fraction(gpu, lane),
+    )
+    return patterns.mixed(rng, [patch, halo, cols, own_out])
+
+
+def _build_c2d(rng, gpu: int, lane: int, ctx: _Ctx) -> List[Access]:
+    """Convolution 2D: input halo sharing, hot shared weights, heavy
+    output writes."""
+    n_in, n_halo, n_w, n_out = ctx.split(0.27, 0.18, 0.15, 0.40)
+    gap = ctx.spec.mean_gap
+    inp = patterns.streaming(
+        rng, ctx.parts[gpu], n_in, gap, 0.0, run_length=3,
+        start_fraction=ctx.lane_fraction(gpu, lane),
+    )
+    halo = patterns.uniform_random(rng, ctx.halo_pages(gpu, width=16), n_halo, gap, 0.15)
+    weights = patterns.hot_set(rng, ctx.all_pages, n_w, gap, 0.05, hot_pages=8)
+    out = patterns.streaming(
+        rng, ctx.parts[gpu], n_out, gap, 1.0, run_length=3,
+        start_fraction=ctx.lane_fraction(gpu, lane) + 0.4,
+    )
+    return patterns.mixed(rng, [inp, halo, weights, out])
+
+
+def _build_bs(rng, gpu: int, lane: int, ctx: _Ctx) -> List[Access]:
+    """Bitonic sort: per stage, sweep the own partition and the stage
+    partner's partition with long element runs (low MPKI)."""
+    gap = ctx.spec.mean_gap
+    log_g = max(1, int(math.log2(max(2, ctx.num_gpus))))
+    stages = 4
+    per_stage = max(2, ctx.accesses // stages)
+    trace: List[Access] = []
+    for s in range(stages):
+        if s == stages - 1:
+            per_stage = max(2, ctx.accesses - len(trace))
+        partner = gpu ^ (1 << (s % log_g))
+        if partner >= ctx.num_gpus:
+            partner = (gpu + 1) % ctx.num_gpus
+        own = patterns.streaming(
+            rng, ctx.parts[gpu], per_stage // 2, gap, 0.5, run_length=10,
+            start_fraction=ctx.lane_fraction(gpu, lane) + 0.2 * s,
+        )
+        other = patterns.streaming(
+            rng, ctx.parts[partner], per_stage - per_stage // 2, gap, 0.2, run_length=10,
+            start_fraction=ctx.lane_fraction(gpu, lane) + 0.2 * s,
+        )
+        trace.extend(patterns.mixed(rng, [own, other]))
+    return trace[: ctx.accesses]
+
+
+APPS: Dict[str, AppSpec] = {
+    "KM": AppSpec("KM", "KMeans", "Hetero-Mark", 50.67, "adjacent", 14, 2048, _build_km),
+    "PR": AppSpec("PR", "PageRank", "Hetero-Mark", 78.21, "random", 10, 2048, _build_pr),
+    "BS": AppSpec("BS", "Bitonic Sort", "AMDAPPSDK", 3.42, "random", 55, 2048, _build_bs),
+    "MM": AppSpec("MM", "Matrix Multiplication", "AMDAPPSDK", 11.21, "scatter-gather", 36, 1536, _build_mm),
+    "MT": AppSpec("MT", "Matrix Transpose", "AMDAPPSDK", 185.52, "scatter-gather", 4, 4096, _build_mt),
+    "SC": AppSpec("SC", "Simple Convolution", "AMDAPPSDK", 15.76, "adjacent", 36, 3072, _build_sc),
+    "ST": AppSpec("ST", "Stencil 2D", "SHOC", 36.24, "adjacent", 14, 4096, _build_st),
+    "C2D": AppSpec("C2D", "Convolution 2D", "DNN-Mark", 21.42, "adjacent", 26, 3072, _build_c2d),
+    "IM": AppSpec("IM", "Image to Column", "DNN-Mark", 18.31, "scatter-gather", 25, 3072, _build_im),
+}
+
+
+def build_workload(
+    name: str,
+    num_gpus: int = 4,
+    lanes: int = 4,
+    accesses_per_lane: int = 1200,
+    seed: int = 7,
+    scale: float = 1.0,
+    page_size: int = 4096,
+) -> Workload:
+    """Generate the named application's traces for a system size.
+
+    ``scale`` multiplies the footprint (used by the 2 MB-page study,
+    §7.3, which enlarges inputs); ``page_size`` coarsens VPNs for
+    large-page runs (several 4 KB-page's worth of data share one page,
+    creating the false sharing §7.3 describes).
+    """
+    if name not in APPS:
+        raise KeyError(f"unknown application {name!r}; know {sorted(APPS)}")
+    spec = APPS[name]
+    ctx = _Ctx(spec, num_gpus, lanes, accesses_per_lane, scale)
+    shift = max(0, (page_size.bit_length() - 1) - 12)
+    traces: List[List[List[Access]]] = []
+    for gpu in range(num_gpus):
+        gpu_lanes: List[List[Access]] = []
+        for lane in range(lanes):
+            rng = stream(seed, f"{name}/g{gpu}/l{lane}")
+            trace = spec.builder(rng, gpu, lane, ctx)
+            if shift:
+                trace = [(g, vpn >> shift, w) for g, vpn, w in trace]
+            gpu_lanes.append(trace)
+        traces.append(gpu_lanes)
+    return Workload(
+        name=name,
+        traces=traces,
+        page_size=page_size,
+        params={
+            "paper_mpki": spec.paper_mpki,
+            "mean_gap": spec.mean_gap,
+            "footprint_pages": ctx.total_pages,
+            "scale": scale,
+        },
+    )

@@ -1,0 +1,32 @@
+"""Shared fixtures: small, fast system configurations for unit tests."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SystemConfig, UVMConfig, baseline_config
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """A 2-GPU system small enough for sub-second unit tests."""
+    return replace(
+        baseline_config(num_gpus=2),
+        trace_lanes=2,
+        inflight_per_cu=4,
+    )
+
+
+def tiny_workload(app: str = "SC", num_gpus: int = 2, accesses: int = 150):
+    """A very small workload for integration-style unit tests."""
+    from repro.workloads.suite import build_workload
+
+    return build_workload(app, num_gpus=num_gpus, lanes=2, accesses_per_lane=accesses)

@@ -1,0 +1,52 @@
+"""Unit tests for the analytical area/overhead model (§6.3, §6.4)."""
+
+from repro.config import IRMBConfig, TLBConfig, VMCacheConfig
+from repro.core.area import (
+    area_report,
+    irmb_bytes,
+    vm_cache_bytes,
+    vm_table_bytes,
+    vm_table_footprint_fraction,
+)
+
+
+class TestIRMBSize:
+    def test_default_is_720_bytes(self):
+        """§6.3: (36 + 144) bits x 32 entries / 8 = 720 bytes."""
+        assert irmb_bytes(IRMBConfig()) == 720.0
+
+    def test_scales_with_geometry(self):
+        assert irmb_bytes(IRMBConfig(bases=64, offsets_per_base=16)) == 1440.0
+        assert irmb_bytes(IRMBConfig(bases=16, offsets_per_base=8)) == 216.0
+
+
+class TestVMStructures:
+    def test_vm_cache_is_480_bytes(self):
+        """§6.4: (41 + 19) bits x 64 entries = 480 bytes."""
+        assert vm_cache_bytes(VMCacheConfig()) == 480.0
+
+    def test_vm_table_is_8_bytes_per_page(self):
+        assert vm_table_bytes(2**20) == (2**20 // 4096) * 8
+
+    def test_vm_table_fraction_about_0_2_percent(self):
+        """§6.4: 2^(x-9) / 2^x ~ 0.195 % of the footprint."""
+        frac = vm_table_footprint_fraction(2**30)
+        assert abs(frac - 8 / 4096) < 1e-12
+        assert 0.001 < frac < 0.003
+
+    def test_empty_footprint(self):
+        assert vm_table_footprint_fraction(0) == 0.0
+
+
+class TestAreaReport:
+    def test_matches_paper_overheads(self):
+        """IRMB ~0.9 % of the L2 TLB area; VM-Cache ~0.04 % of a 32 KB L1."""
+        report = area_report(IRMBConfig(), TLBConfig(512, 16, 10), VMCacheConfig())
+        assert report.irmb_bytes == 720.0
+        assert 0.004 < report.irmb_vs_l2_tlb < 0.02
+        assert 0.0002 < report.vm_cache_vs_cpu_l1 < 0.002
+
+    def test_report_monotone_in_irmb_size(self):
+        small = area_report(IRMBConfig(bases=16, offsets_per_base=8), TLBConfig(512, 16, 10), VMCacheConfig())
+        big = area_report(IRMBConfig(bases=64, offsets_per_base=16), TLBConfig(512, 16, 10), VMCacheConfig())
+        assert big.irmb_vs_l2_tlb > small.irmb_vs_l2_tlb

@@ -1,0 +1,106 @@
+"""Unit tests for the in-PTE directory (§6.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.directory import InPTEDirectory
+from repro.memory import pte
+from repro.memory.address import AddressLayout
+from repro.memory.page_table import PageTable
+
+
+def make_dir(num_gpus=4, num_bits=11):
+    host = PageTable(AddressLayout(4096, levels=5), "host")
+    return host, InPTEDirectory(host, num_gpus, num_bits)
+
+
+class TestRecordAndLookup:
+    def test_fresh_page_has_no_holders(self):
+        host, directory = make_dir()
+        host.set_entry(1, pte.make_pte(0))
+        assert directory.holders(1) == []
+
+    def test_record_access_sets_holder(self):
+        host, directory = make_dir()
+        host.set_entry(1, pte.make_pte(0))
+        directory.record_access(1, gpu_id=2)
+        assert directory.holders(1) == [2]
+
+    def test_multiple_holders(self):
+        host, directory = make_dir()
+        host.set_entry(1, pte.make_pte(0))
+        for gpu in (0, 3):
+            directory.record_access(1, gpu)
+        assert directory.holders(1) == [0, 3]
+
+    def test_record_on_missing_pte_raises(self):
+        _host, directory = make_dir()
+        with pytest.raises(KeyError):
+            directory.record_access(99, 0)
+
+    def test_holders_of_unknown_page_empty(self):
+        _host, directory = make_dir()
+        assert directory.holders(42) == []
+
+    def test_bits_live_in_host_pte_word(self):
+        """The directory is literally the unused PTE bits 62-52."""
+        host, directory = make_dir()
+        host.set_entry(1, pte.make_pte(0x77))
+        directory.record_access(1, gpu_id=1)
+        word = host.entry(1)
+        assert pte.directory_bits(word, 11) == 0b10
+        assert pte.ppn(word) == 0x77  # PPN untouched
+
+
+class TestClear:
+    def test_clear_removes_all_holders(self):
+        host, directory = make_dir()
+        host.set_entry(1, pte.make_pte(0))
+        for gpu in range(4):
+            directory.record_access(1, gpu)
+        directory.clear(1)
+        assert directory.holders(1) == []
+
+    def test_clear_missing_page_is_noop(self):
+        _host, directory = make_dir()
+        directory.clear(42)  # must not raise
+
+
+class TestHashAliasing:
+    def test_aliasing_creates_false_positives_only(self):
+        """With 4 bits and 8 GPUs, GPU 5 aliases GPU 1: an access by
+        GPU 5 makes GPU 1 a (false-positive) holder too — never the
+        other way around (§6.2: does not affect correctness)."""
+        host, directory = make_dir(num_gpus=8, num_bits=4)
+        host.set_entry(1, pte.make_pte(0))
+        directory.record_access(1, gpu_id=5)
+        holders = directory.holders(1)
+        assert 5 in holders
+        assert holders == [1, 5]
+
+    @given(
+        st.integers(min_value=1, max_value=11),
+        st.lists(st.integers(min_value=0, max_value=31), max_size=10),
+    )
+    def test_no_false_negatives_property(self, num_bits, accessors):
+        """Every GPU that recorded an access is always in holders()."""
+        host = PageTable(AddressLayout(4096, levels=5))
+        directory = InPTEDirectory(host, num_gpus=32, num_bits=num_bits)
+        host.set_entry(1, pte.make_pte(0))
+        for gpu in accessors:
+            directory.record_access(1, gpu)
+        holders = set(directory.holders(1))
+        assert set(accessors) <= holders
+
+    def test_invalid_bit_count_rejected(self):
+        host = PageTable(AddressLayout(4096, levels=5))
+        with pytest.raises(ValueError):
+            InPTEDirectory(host, 4, num_bits=0)
+        with pytest.raises(ValueError):
+            InPTEDirectory(host, 4, num_bits=12)
+
+    def test_lookup_latency_is_zero(self):
+        """The in-PTE lookup rides the host walk — no extra latency."""
+        _host, directory = make_dir()
+        assert directory.lookup_latency == 0

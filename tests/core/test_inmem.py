@@ -1,0 +1,87 @@
+"""Unit tests for IDYLL-InMem's VM-Table / VM-Cache (§6.4)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import VMCacheConfig
+from repro.core.inmem import VM_TABLE_ACCESS_BITS, VMTableDirectory
+
+
+def make_dir(num_gpus=4, entries=8, assoc=2):
+    return VMTableDirectory(num_gpus, VMCacheConfig(entries=entries, associativity=assoc))
+
+
+class TestDirectorySemantics:
+    def test_record_and_holders(self):
+        directory = make_dir()
+        directory.record_access(1, 2)
+        assert directory.holders(1) == [2]
+
+    def test_clear(self):
+        directory = make_dir()
+        directory.record_access(1, 0)
+        directory.record_access(1, 3)
+        directory.clear(1)
+        assert directory.holders(1) == []
+
+    def test_unknown_page_registers_empty_entry(self):
+        directory = make_dir()
+        assert directory.holders(42) == []
+        assert directory.stats.counter("table_misses").value == 1
+
+    def test_hash_aliasing_beyond_19_gpus(self):
+        directory = make_dir(num_gpus=32)
+        directory.record_access(1, gpu_id=19)  # aliases gpu 0 (19 % 19)
+        holders = directory.holders(1)
+        assert 19 in holders and 0 in holders
+
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=16))
+    def test_no_false_negatives(self, accessors):
+        directory = make_dir(num_gpus=16, entries=4, assoc=2)
+        for gpu in accessors:
+            directory.record_access(3, gpu)
+        assert set(accessors) <= set(directory.holders(3))
+
+
+class TestVMCache:
+    def test_hit_after_load(self):
+        directory = make_dir()
+        directory.record_access(1, 0)  # miss, loads entry
+        directory.holders(1)  # hit
+        assert directory.stats.counter("cache_hits").value == 1
+        assert directory.stats.counter("cache_misses").value == 1
+
+    def test_dirty_eviction_writes_back_to_table(self):
+        directory = make_dir(entries=2, assoc=1)
+        # Two VPNs mapping to set 0 with 1-way sets: second evicts first.
+        directory.record_access(0, 1)  # set 0, dirty
+        directory.record_access(2, 3)  # set 0 again -> writeback of vpn 0
+        assert directory.stats.counter("writebacks").value == 1
+        assert directory.table_entries() == 1
+        # Reloading vpn 0 must still see GPU 1 (came back from the table).
+        assert directory.holders(0) == [1]
+
+    def test_persistence_through_many_evictions(self):
+        directory = make_dir(entries=2, assoc=1)
+        for vpn in range(20):
+            directory.record_access(vpn, vpn % 4)
+        for vpn in range(20):
+            assert vpn % 4 in directory.holders(vpn)
+
+    def test_lookup_latency_cheaper_on_hit(self):
+        directory = make_dir()
+        cold = directory.lookup_latency_for(1)
+        directory.record_access(1, 0)
+        warm = directory.lookup_latency_for(1)
+        assert warm < cold
+        assert warm == directory.config.lookup_latency
+
+    def test_cache_hit_rate(self):
+        directory = make_dir()
+        directory.record_access(1, 0)
+        directory.holders(1)
+        directory.holders(1)
+        assert directory.cache_hit_rate() == 2 / 3
+
+    def test_access_bits_width(self):
+        assert VM_TABLE_ACCESS_BITS == 19  # §6.4 entry layout

@@ -1,0 +1,145 @@
+"""Unit tests for the Invalidation Request Merging Buffer (§6.3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import IRMBConfig
+from repro.core.irmb import IRMB
+from repro.memory.address import LAYOUT_4K
+
+
+def make_irmb(bases=4, offsets=4):
+    return IRMB(IRMBConfig(bases=bases, offsets_per_base=offsets), LAYOUT_4K)
+
+
+def vpn(base, offset):
+    return (base << 9) | offset
+
+
+class TestInsertAndMerge:
+    def test_insert_then_lookup(self):
+        irmb = make_irmb()
+        assert irmb.insert(vpn(1, 2)) == []
+        assert irmb.lookup(vpn(1, 2))
+        assert not irmb.lookup(vpn(1, 3))
+
+    def test_same_base_merges_into_one_entry(self):
+        irmb = make_irmb()
+        irmb.insert(vpn(1, 0))
+        irmb.insert(vpn(1, 1))
+        irmb.insert(vpn(1, 2))
+        assert len(irmb) == 1
+        assert irmb.stats.counter("merged_inserts").value == 2
+
+    def test_duplicate_insert_is_noop(self):
+        irmb = make_irmb()
+        irmb.insert(vpn(1, 0))
+        assert irmb.insert(vpn(1, 0)) == []
+        assert irmb.stats.counter("duplicate_inserts").value == 1
+
+    def test_different_bases_use_separate_entries(self):
+        irmb = make_irmb()
+        irmb.insert(vpn(1, 0))
+        irmb.insert(vpn(2, 0))
+        assert len(irmb) == 2
+
+
+class TestEviction:
+    def test_base_full_evicts_lru_entry(self):
+        irmb = make_irmb(bases=2)
+        irmb.insert(vpn(1, 0))
+        irmb.insert(vpn(2, 0))
+        irmb.lookup(vpn(1, 0))  # lookups do NOT refresh LRU
+        evicted = irmb.insert(vpn(3, 0))
+        assert evicted == [vpn(1, 0)]  # entry 1 was least recently *inserted*
+        assert not irmb.lookup(vpn(1, 0))
+        assert irmb.stats.counter("base_evictions").value == 1
+
+    def test_insert_refreshes_base_lru(self):
+        irmb = make_irmb(bases=2)
+        irmb.insert(vpn(1, 0))
+        irmb.insert(vpn(2, 0))
+        irmb.insert(vpn(1, 1))  # refresh base 1
+        evicted = irmb.insert(vpn(3, 0))
+        assert evicted == [vpn(2, 0)]
+
+    def test_offset_full_flushes_entry_offsets(self):
+        """§6.3: offsets full → evict all offsets, keep the base."""
+        irmb = make_irmb(offsets=2)
+        irmb.insert(vpn(1, 0))
+        irmb.insert(vpn(1, 1))
+        evicted = irmb.insert(vpn(1, 2))
+        assert sorted(evicted) == [vpn(1, 0), vpn(1, 1)]
+        assert irmb.lookup(vpn(1, 2))
+        assert len(irmb) == 1
+        assert irmb.stats.counter("offset_evictions").value == 1
+
+    def test_evicted_vpns_sorted_within_base(self):
+        irmb = make_irmb(bases=1, offsets=4)
+        for off in (3, 1, 2):
+            irmb.insert(vpn(7, off))
+        evicted = irmb.insert(vpn(9, 0))
+        assert evicted == [vpn(7, 1), vpn(7, 2), vpn(7, 3)]
+
+
+class TestRemoveAndWriteback:
+    def test_remove_cancels_pending_invalidation(self):
+        irmb = make_irmb()
+        irmb.insert(vpn(1, 0))
+        assert irmb.remove(vpn(1, 0)) is True
+        assert not irmb.lookup(vpn(1, 0))
+        assert irmb.is_empty
+
+    def test_remove_missing_is_false(self):
+        assert make_irmb().remove(vpn(1, 0)) is False
+
+    def test_remove_keeps_siblings(self):
+        irmb = make_irmb()
+        irmb.insert(vpn(1, 0))
+        irmb.insert(vpn(1, 1))
+        irmb.remove(vpn(1, 0))
+        assert irmb.lookup(vpn(1, 1))
+
+    def test_pop_lru_entry_returns_merged_vpns(self):
+        irmb = make_irmb()
+        irmb.insert(vpn(1, 0))
+        irmb.insert(vpn(1, 5))
+        irmb.insert(vpn(2, 0))
+        popped = irmb.pop_lru_entry()
+        assert popped == [vpn(1, 0), vpn(1, 5)]
+        assert len(irmb) == 1
+
+    def test_pop_empty_returns_none(self):
+        assert make_irmb().pop_lru_entry() is None
+
+
+class TestGeometry:
+    def test_default_geometry_matches_paper(self):
+        config = IRMBConfig()
+        assert config.bases == 32
+        assert config.offsets_per_base == 16
+        assert config.size_bytes == 720.0  # §6.3 arithmetic
+
+    def test_capacity_invariant(self):
+        irmb = make_irmb(bases=3, offsets=2)
+        for i in range(50):
+            irmb.insert(vpn(i % 7, i % 5))
+        assert len(irmb) <= 3
+        for offsets in irmb._entries.values():
+            assert len(offsets) <= 2
+
+
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 511)), max_size=200))
+def test_lookup_reflects_inserts_minus_evictions_and_removals(ops):
+    """Whatever the sequence, a VPN is pending iff inserted after its last
+    eviction/removal — verified against a mirror model."""
+    irmb = make_irmb(bases=4, offsets=8)
+    mirror = set()
+    for base, offset in ops:
+        v = vpn(base, offset)
+        evicted = irmb.insert(v)
+        mirror -= set(evicted)
+        mirror.add(v)
+    assert set(irmb.pending_vpns()) == mirror
+    for v in list(mirror)[:20]:
+        assert irmb.lookup(v)

@@ -1,0 +1,72 @@
+"""Unit tests for the Trans-FW comparator (§7.5)."""
+
+from repro.config import TransFWConfig
+from repro.core.transfw import TransFW
+
+
+def make_tfw(gpu_id=0, num_gpus=4, fingerprints=4, fp_rate=0.0):
+    config = TransFWConfig(fingerprints=fingerprints, false_positive_rate=fp_rate)
+    return TransFW(gpu_id, num_gpus, config)
+
+
+class TestLearnAndProbe:
+    def test_learned_mapping_probes_back(self):
+        tfw = make_tfw()
+        tfw.learn(5, owner_gpu=2)
+        assert tfw.probe(5) == 2
+
+    def test_unknown_vpn_misses_with_zero_fp_rate(self):
+        tfw = make_tfw()
+        assert tfw.probe(5) is None
+        assert tfw.stats.counter("misses").value == 1
+
+    def test_own_gpu_not_learned(self):
+        tfw = make_tfw(gpu_id=1)
+        tfw.learn(5, owner_gpu=1)
+        assert len(tfw) == 0
+
+    def test_relearn_updates_owner(self):
+        tfw = make_tfw()
+        tfw.learn(5, 1)
+        tfw.learn(5, 3)
+        assert tfw.probe(5) == 3
+        assert len(tfw) == 1
+
+    def test_forget(self):
+        tfw = make_tfw()
+        tfw.learn(5, 2)
+        tfw.forget(5)
+        assert tfw.probe(5) is None
+
+
+class TestCapacity:
+    def test_lru_eviction_at_capacity(self):
+        tfw = make_tfw(fingerprints=2)
+        tfw.learn(1, 1)
+        tfw.learn(2, 2)
+        tfw.probe(1)  # refresh
+        tfw.learn(3, 3)  # evicts vpn 2
+        assert tfw.probe(2) is None
+        assert tfw.probe(1) == 1
+        assert tfw.stats.counter("evictions").value == 1
+
+    def test_paper_capacity(self):
+        """§7.5: 443 fingerprints to match the 720-byte IRMB budget."""
+        assert TransFWConfig().fingerprints == 443
+
+
+class TestFalsePositives:
+    def test_false_positives_occur_at_configured_rate(self):
+        tfw = make_tfw(fp_rate=1.0)
+        owner = tfw.probe(12345)
+        assert owner is not None and owner != tfw.gpu_id
+        assert tfw.stats.counter("false_positives").value == 1
+
+    def test_false_positives_deterministic_per_seed(self):
+        a = TransFW(0, 4, TransFWConfig(false_positive_rate=0.5), seed=9)
+        b = TransFW(0, 4, TransFWConfig(false_positive_rate=0.5), seed=9)
+        assert [a.probe(i) for i in range(50)] == [b.probe(i) for i in range(50)]
+
+    def test_single_gpu_never_false_positive(self):
+        tfw = TransFW(0, 1, TransFWConfig(false_positive_rate=1.0))
+        assert tfw.probe(1) is None

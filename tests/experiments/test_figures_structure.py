@@ -1,0 +1,147 @@
+"""Structural tests for every figure entry point.
+
+Run at micro scale (tiny traces): these verify each figure function
+produces the right series/labels and internally consistent values; the
+benchmark suite checks the paper-shape properties at full scale.
+"""
+
+import pytest
+
+from repro.cli import FIGURES
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentRunner
+from repro.workloads.suite import APP_ORDER, FIG1_APPS
+
+
+@pytest.fixture(scope="module")
+def micro():
+    return ExperimentRunner(lanes=2, accesses_per_lane=80, seed=7)
+
+
+def assert_series(series, labels, apps):
+    assert set(series) == set(labels)
+    for label in labels:
+        assert set(series[label]) == set(apps), label
+        for value in series[label].values():
+            assert value == value  # not NaN
+            assert value >= 0
+
+
+class TestMotivation:
+    def test_fig01(self, micro):
+        series = figures.fig01_invalidation_overhead(micro)
+        assert_series(series, ["invalidation_overhead"], FIG1_APPS)
+        assert all(0 <= v < 1 for v in series["invalidation_overhead"].values())
+
+    def test_fig02(self, micro):
+        series = figures.fig02_migration_policies(micro)
+        assert_series(
+            series,
+            ["first-touch", "on-touch", "zero-latency-invalidation"],
+            APP_ORDER,
+        )
+
+
+class TestCharacterisation:
+    def test_fig05(self, micro):
+        series = figures.fig05_walker_request_mix(micro)
+        assert_series(
+            series, ["tlb_miss", "necessary_inval", "unnecessary_inval"], APP_ORDER
+        )
+
+    def test_fig06(self, micro):
+        series = figures.fig06_demand_latency_no_inval(micro)
+        assert_series(
+            series,
+            ["relative_latency", "baseline_cycles", "ideal_cycles"],
+            APP_ORDER,
+        )
+
+    def test_fig07(self, micro):
+        series = figures.fig07_migration_waiting_share(micro)
+        assert_series(
+            series,
+            ["waiting_share", "migration_cycles", "waiting_cycles"],
+            APP_ORDER,
+        )
+        for app in APP_ORDER:
+            assert series["waiting_cycles"][app] <= series["migration_cycles"][app] + 1e-9
+
+
+class TestMainResults:
+    def test_fig11(self, micro):
+        series = figures.fig11_overall_performance(micro)
+        assert_series(
+            series,
+            ["only_lazy", "only_in_pte", "idyll_inmem", "idyll", "zero_latency"],
+            APP_ORDER,
+        )
+
+    def test_fig12_fig13_fig14(self, micro):
+        assert_series(
+            figures.fig12_demand_latency_idyll(micro), ["relative_latency"], APP_ORDER
+        )
+        assert_series(
+            figures.fig13_invalidation_requests(micro),
+            ["relative_latency", "relative_count"],
+            APP_ORDER,
+        )
+        assert_series(
+            figures.fig14_migration_waiting_idyll(micro),
+            ["relative_waiting"],
+            APP_ORDER,
+        )
+
+
+class TestSensitivity:
+    def test_fig15(self, micro):
+        series = figures.fig15_irmb_sizes(micro)
+        labels = ["(16,8)", "(16,16)", "(32,8)", "(32,16)", "(64,16)"]
+        assert_series(series, labels, APP_ORDER)
+
+    def test_fig16_fig17(self, micro):
+        assert_series(
+            figures.fig16_ptw_threads(micro), ["16_threads", "32_threads"], APP_ORDER
+        )
+        assert_series(figures.fig17_l2_tlb_2048(micro), ["2048_entry"], APP_ORDER)
+
+    def test_fig18(self, micro):
+        series = figures.fig18_gpu_scaling(micro)
+        assert_series(series, ["8_gpus", "16_gpus"], APP_ORDER)
+
+    def test_fig19_restricted_counts(self, micro):
+        series = figures.fig19_unused_bits(micro, gpu_counts=[8])
+        assert_series(series, ["8_gpus"], APP_ORDER)
+
+    def test_fig20(self, micro):
+        series = figures.fig20_counter_threshold(micro)
+        assert_series(
+            series, ["idyll_256", "baseline_512", "idyll_512"], APP_ORDER
+        )
+
+
+class TestComparisons:
+    def test_fig21(self, micro):
+        assert_series(figures.fig21_large_pages(micro), ["idyll_2mb"], APP_ORDER)
+
+    def test_fig22(self, micro):
+        assert_series(
+            figures.fig22_page_replication(micro), ["idyll_vs_replication"], APP_ORDER
+        )
+
+    def test_fig23(self, micro):
+        assert_series(
+            figures.fig23_transfw(micro),
+            ["trans_fw", "idyll", "idyll_trans_fw"],
+            APP_ORDER,
+        )
+
+    def test_fig24(self, micro):
+        series = figures.fig24_dnn(micro)
+        assert_series(series, ["idyll"], ["VGG16", "ResNet18"])
+
+
+class TestRegistry:
+    def test_cli_figure_registry_is_callable(self):
+        for name, fn in FIGURES.items():
+            assert callable(fn), name

@@ -1,0 +1,70 @@
+"""Unit tests for the experiment runner and a fast figure-function check."""
+
+from repro.config import InvalidationScheme, baseline_config
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentRunner
+
+
+def small_runner():
+    return ExperimentRunner(lanes=2, accesses_per_lane=150, seed=7)
+
+
+class TestRunnerCaching:
+    def test_same_run_is_cached(self):
+        runner = small_runner()
+        config = baseline_config(num_gpus=2)
+        a = runner.run("SC", config)
+        n = runner.cached_runs()
+        b = runner.run("SC", config)
+        assert a is b
+        assert runner.cached_runs() == n
+
+    def test_different_scheme_not_cached_together(self):
+        runner = small_runner()
+        a = runner.run("SC", baseline_config(num_gpus=2))
+        b = runner.run(
+            "SC", baseline_config(num_gpus=2).with_scheme(InvalidationScheme.IDYLL)
+        )
+        assert a is not b
+
+    def test_workloads_cached(self):
+        runner = small_runner()
+        assert runner.workload("SC", 2) is runner.workload("SC", 2)
+
+    def test_dnn_workloads_resolve(self):
+        runner = small_runner()
+        w = runner.workload("VGG16", 2)
+        assert w.name == "VGG16"
+
+    def test_unknown_workload_rejected(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            small_runner().workload("NOPE")
+
+    def test_lane_budget_tapers_for_big_systems(self):
+        runner = ExperimentRunner(lanes=2, accesses_per_lane=1000)
+        assert runner._lane_budget(4) == 1000
+        assert runner._lane_budget(8) == 1000
+        assert runner._lane_budget(16) == 500
+        assert runner._lane_budget(32) == 250
+
+
+class TestFigureFunctions:
+    """Structure checks on cheap figure functions (4-GPU sims are covered
+    by the benchmarks; here we only verify shapes on tiny traces)."""
+
+    def test_fig04_shapes(self):
+        runner = small_runner()
+        series = figures.fig04_page_sharing(runner)
+        assert set(series) == {f"shared_by_{k}" for k in range(1, 5)}
+        for app in figures.APP_ORDER:
+            total = sum(series[f"shared_by_{k}"][app] for k in range(1, 5))
+            assert abs(total - 1.0) < 1e-9
+
+    def test_table3_reports_both_columns(self):
+        runner = small_runner()
+        series = figures.table3_mpki(runner)
+        assert set(series) == {"measured", "paper"}
+        assert series["paper"]["MT"] == 185.52
+        assert all(v >= 0 for v in series["measured"].values())

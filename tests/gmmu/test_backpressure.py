@@ -1,0 +1,70 @@
+"""Edge-case tests: walk-queue backpressure and burst behaviour."""
+
+from repro.config import GMMUConfig
+from repro.gmmu.gmmu import GMMU
+from repro.gmmu.request import WalkKind
+from repro.memory import pte
+from repro.memory.address import LAYOUT_4K
+from repro.memory.page_table import PageTable
+from repro.sim.engine import Engine
+
+
+def make_gmmu(walkers=1, queue=2):
+    engine = Engine()
+    table = PageTable(LAYOUT_4K)
+    config = GMMUConfig(walker_threads=walkers, walk_queue_entries=queue)
+    return engine, table, GMMU(engine, config, table)
+
+
+class TestQueueBackpressure:
+    def test_all_submissions_eventually_complete(self):
+        """Submissions beyond the 64-entry queue defer but never drop."""
+        engine, table, gmmu = make_gmmu(walkers=1, queue=2)
+        requests = []
+        for i in range(20):
+            table.set_entry(i << 18, pte.make_pte(i))
+            requests.append(gmmu.walk(i << 18, WalkKind.DEMAND))
+        engine.run()
+        assert all(r.done.triggered for r in requests)
+        assert gmmu.stats.latency("total.demand").count == 20
+
+    def test_fifo_service_order(self):
+        engine, table, gmmu = make_gmmu(walkers=1, queue=2)
+        order = []
+        for i in range(6):
+            table.set_entry(i << 18, pte.make_pte(i))
+            request = gmmu.walk(i << 18, WalkKind.DEMAND)
+            request.done.add_callback(lambda _e, i=i: order.append(i))
+        engine.run()
+        assert order == sorted(order)
+
+    def test_queue_wait_grows_under_burst(self):
+        engine, table, gmmu = make_gmmu(walkers=1, queue=4)
+        for i in range(10):
+            table.set_entry(i << 18, pte.make_pte(i))
+            gmmu.walk(i << 18, WalkKind.DEMAND)
+        engine.run()
+        wait = gmmu.stats.latency("queue_wait.demand")
+        assert wait.max > wait.min
+
+    def test_mixed_kinds_share_the_same_queue(self):
+        """An invalidation burst delays a later demand walk (§5.2)."""
+        engine, table, gmmu = make_gmmu(walkers=1, queue=2)
+        for i in range(8):
+            table.set_entry(i << 18, pte.make_pte(i))
+            gmmu.walk(i << 18, WalkKind.INVALIDATE)
+        table.set_entry(0x7F << 18, pte.make_pte(1))
+        demand = gmmu.walk(0x7F << 18, WalkKind.DEMAND)
+        engine.run()
+        assert demand.started_at - demand.issued_at >= 8 * 100
+
+    def test_load_accounting(self):
+        engine, table, gmmu = make_gmmu(walkers=2, queue=4)
+        for i in range(6):
+            table.set_entry(i << 18, pte.make_pte(i))
+            gmmu.walk(i << 18, WalkKind.DEMAND)
+        # Before the engine runs, submissions are queued or pending.
+        assert gmmu.load >= 0
+        engine.run()
+        assert gmmu.load == 0
+        assert gmmu.is_idle

@@ -1,0 +1,167 @@
+"""Unit tests for the GMMU: walk latency, queueing, contention, aborts."""
+
+from repro.config import GMMUConfig
+from repro.gmmu.gmmu import GMMU
+from repro.gmmu.request import WalkKind
+from repro.memory import pte
+from repro.memory.address import LAYOUT_4K
+from repro.memory.page_table import PageTable
+from repro.sim.engine import Engine
+
+
+def make_gmmu(walkers=2, queue=4, pwc=128):
+    engine = Engine()
+    table = PageTable(LAYOUT_4K)
+    config = GMMUConfig(
+        walker_threads=walkers,
+        walk_latency_per_level=100,
+        walk_cache_entries=pwc,
+        walk_queue_entries=queue,
+    )
+    return engine, table, GMMU(engine, config, table)
+
+
+class TestDemandWalks:
+    def test_cold_walk_costs_four_levels(self):
+        engine, table, gmmu = make_gmmu()
+        table.set_entry(0x123, pte.make_pte(7))
+        request = gmmu.walk(0x123, WalkKind.DEMAND)
+        engine.run()
+        assert request.done.value == pte.make_pte(7)
+        assert engine.now == 400
+
+    def test_warm_walk_hits_pwc(self):
+        engine, table, gmmu = make_gmmu()
+        table.set_entry(0x123, pte.make_pte(7))
+        gmmu.walk(0x123, WalkKind.DEMAND)
+        engine.run()
+        t0 = engine.now
+        gmmu.walk(0x123, WalkKind.DEMAND)
+        engine.run()
+        assert engine.now - t0 == 100  # leaf-level PWC hit: one access
+
+    def test_demand_walk_of_absent_pte_returns_none(self):
+        engine, _table, gmmu = make_gmmu()
+        request = gmmu.walk(0x5, WalkKind.DEMAND)
+        engine.run()
+        assert request.done.value is None
+
+    def test_invalid_pte_translates_to_none(self):
+        engine, table, gmmu = make_gmmu()
+        table.set_entry(0x5, pte.clear_valid(pte.make_pte(9)))
+        request = gmmu.walk(0x5, WalkKind.DEMAND)
+        engine.run()
+        assert request.done.value is None
+
+
+class TestInvalidateAndUpdateWalks:
+    def test_invalidate_clears_valid_bit(self):
+        engine, table, gmmu = make_gmmu()
+        table.set_entry(0x5, pte.make_pte(9))
+        request = gmmu.walk(0x5, WalkKind.INVALIDATE)
+        engine.run()
+        assert request.was_valid is True
+        assert table.translate(0x5) is None
+        assert gmmu.stats.counter("invalidations.necessary").value == 1
+
+    def test_unnecessary_invalidation_counted(self):
+        engine, _table, gmmu = make_gmmu()
+        gmmu.walk(0x5, WalkKind.INVALIDATE)
+        engine.run()
+        assert gmmu.stats.counter("invalidations.unnecessary").value == 1
+
+    def test_update_installs_word(self):
+        engine, table, gmmu = make_gmmu()
+        gmmu.walk(0x5, WalkKind.UPDATE, word=pte.make_pte(3))
+        engine.run()
+        assert table.translate(0x5) == pte.make_pte(3)
+
+    def test_aborted_invalidate_leaves_pte_alone(self):
+        engine, table, gmmu = make_gmmu(walkers=1)
+        table.set_entry(0x5, pte.make_pte(9))
+        request = gmmu.walk(0x5, WalkKind.INVALIDATE)
+        request.aborted = True
+        engine.run()
+        assert table.translate(0x5) is not None
+        assert gmmu.stats.counter("aborted_walks").value == 1
+
+
+class TestContention:
+    def test_walker_threads_limit_parallelism(self):
+        """With one walker, two cold walks serialise: 400 + 400 cycles."""
+        engine, table, gmmu = make_gmmu(walkers=1, pwc=1)
+        table.set_entry(0x0 << 9, pte.make_pte(1))
+        far = 0x5 << 27 | 0x3 << 18  # shares no useful PWC tags
+        table.set_entry(far, pte.make_pte(2))
+        gmmu.walk(0x0 << 9, WalkKind.DEMAND)
+        gmmu.walk(far, WalkKind.DEMAND)
+        engine.run()
+        assert engine.now >= 700  # second walk queued behind the first
+
+    def test_parallel_walkers_overlap(self):
+        engine, table, gmmu = make_gmmu(walkers=2, pwc=1)
+        table.set_entry(0x0 << 9, pte.make_pte(1))
+        far = 0x5 << 27 | 0x3 << 18
+        table.set_entry(far, pte.make_pte(2))
+        gmmu.walk(0x0 << 9, WalkKind.DEMAND)
+        gmmu.walk(far, WalkKind.DEMAND)
+        engine.run()
+        assert engine.now <= 500
+
+    def test_invalidations_delay_demand_walks(self):
+        """The core §5.2 contention: invalidation walks occupy the same
+        walker threads and queue slots as demand walks."""
+        engine, table, gmmu = make_gmmu(walkers=1, pwc=1)
+        for i in range(5):
+            table.set_entry(i << 20, pte.make_pte(i))
+        for i in range(5):
+            gmmu.walk(i << 20, WalkKind.INVALIDATE)
+        demand = gmmu.walk(0x7FFF << 20, WalkKind.DEMAND)
+        engine.run()
+        queue_wait = demand.started_at - demand.issued_at
+        assert queue_wait > 0
+
+    def test_queue_wait_recorded_per_kind(self):
+        engine, table, gmmu = make_gmmu(walkers=1)
+        table.set_entry(1, pte.make_pte(1))
+        gmmu.walk(1, WalkKind.DEMAND)
+        gmmu.walk(1, WalkKind.DEMAND)
+        engine.run()
+        assert gmmu.stats.latency("queue_wait.demand").count == 2
+        assert gmmu.stats.latency("queue_wait.demand").max > 0
+
+
+class TestIdleTracking:
+    def test_idle_transitions(self):
+        engine, table, gmmu = make_gmmu()
+        assert gmmu.is_idle
+        table.set_entry(1, pte.make_pte(1))
+        gmmu.walk(1, WalkKind.DEMAND)
+        assert not gmmu.is_idle
+        engine.run()
+        assert gmmu.is_idle
+
+    def test_wait_idle_fires_on_drain(self):
+        engine, table, gmmu = make_gmmu()
+        table.set_entry(1, pte.make_pte(1))
+        gmmu.walk(1, WalkKind.DEMAND)
+        ev = gmmu.wait_idle()
+        assert not ev.triggered
+        engine.run()
+        assert ev.triggered
+
+    def test_invalidation_busy_cycles_accumulate(self):
+        engine, table, gmmu = make_gmmu()
+        table.set_entry(1, pte.make_pte(1))
+        gmmu.walk(1, WalkKind.INVALIDATE)
+        engine.run()
+        assert gmmu.invalidation_busy_cycles() == 400
+        assert gmmu.any_busy_cycles() == 400
+
+    def test_demand_walks_do_not_count_as_inval_busy(self):
+        engine, table, gmmu = make_gmmu()
+        table.set_entry(1, pte.make_pte(1))
+        gmmu.walk(1, WalkKind.DEMAND)
+        engine.run()
+        assert gmmu.invalidation_busy_cycles() == 0
+        assert gmmu.any_busy_cycles() == 400

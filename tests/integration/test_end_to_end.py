@@ -1,0 +1,160 @@
+"""End-to-end integration tests: full systems on real (small) workloads."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    DirectoryKind,
+    InvalidationScheme,
+    MigrationPolicy,
+    baseline_config,
+)
+from repro.gpu.system import MultiGPUSystem
+from repro.workloads.suite import build_workload
+
+
+def small_config(num_gpus=2, **overrides):
+    config = replace(
+        baseline_config(num_gpus=num_gpus), trace_lanes=2, inflight_per_cu=8
+    )
+    return replace(config, **overrides) if overrides else config
+
+
+def small_workload(app="KM", num_gpus=2, accesses=400):
+    return build_workload(app, num_gpus=num_gpus, lanes=2, accesses_per_lane=accesses)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_results(self):
+        w = small_workload()
+        a = MultiGPUSystem(small_config()).run(w)
+        b = MultiGPUSystem(small_config()).run(w)
+        assert a.exec_time == b.exec_time
+        assert a.far_faults == b.far_faults
+        assert a.migrations == b.migrations
+        assert a.invalidations_sent == b.invalidations_sent
+
+
+class TestConservation:
+    """Cross-component accounting invariants on a finished run."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        w = small_workload(accesses=500)
+        system = MultiGPUSystem(small_config())
+        return system, system.run(w), w
+
+    def test_all_accesses_complete(self, run):
+        _system, result, w = run
+        assert result.accesses == w.total_accesses()
+
+    def test_instructions_match_trace(self, run):
+        _system, result, w = run
+        assert result.instructions == w.total_instructions()
+
+    def test_every_touched_page_resident_somewhere(self, run):
+        system, _result, w = run
+        host = system.driver.host_page_table
+        for vpn in w.page_sharers():
+            assert host.translate(vpn) is not None
+
+    def test_frames_in_use_equals_resident_pages(self, run):
+        system, _result, w = run
+        total_frames = sum(g.memory.frames_in_use for g in system.gpus)
+        # every touched page occupies exactly one frame (no replication)
+        assert total_frames == len(w.page_sharers())
+
+    def test_invalidations_sent_equals_received(self, run):
+        system, result, _w = run
+        assert result.invalidations_sent == result.inval_received_total
+
+    def test_local_plus_remote_covers_slowpath_accesses(self, run):
+        _system, result, w = run
+        assert result.local_accesses + result.remote_accesses == w.total_accesses()
+
+
+class TestSchemeOrdering:
+    """The paper's headline ordering must hold on a sharing-heavy app."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        w = build_workload("KM", num_gpus=4, lanes=4, accesses_per_lane=800)
+        out = {}
+        for scheme in InvalidationScheme:
+            config = baseline_config(num_gpus=4).with_scheme(scheme)
+            out[scheme] = MultiGPUSystem(config).run(w)
+        return out
+
+    def test_idyll_beats_baseline(self, results):
+        idyll = results[InvalidationScheme.IDYLL]
+        base = results[InvalidationScheme.BROADCAST]
+        assert idyll.speedup_over(base) > 1.0
+
+    def test_directory_reduces_invalidations_sent(self, results):
+        directory = results[InvalidationScheme.DIRECTORY]
+        base = results[InvalidationScheme.BROADCAST]
+        per_mig_dir = directory.invalidations_sent / max(1, directory.migrations)
+        per_mig_base = base.invalidations_sent / max(1, base.migrations)
+        assert per_mig_dir < per_mig_base
+
+    def test_lazy_reduces_migration_waiting(self, results):
+        lazy = results[InvalidationScheme.LAZY]
+        base = results[InvalidationScheme.BROADCAST]
+        assert lazy.migration_waiting_mean < base.migration_waiting_mean
+
+    def test_zero_latency_has_minimal_waiting(self, results):
+        zero = results[InvalidationScheme.ZERO_LATENCY]
+        for scheme, r in results.items():
+            if scheme is not InvalidationScheme.ZERO_LATENCY and r.migrations:
+                assert zero.migration_waiting_mean <= r.migration_waiting_mean
+
+    def test_idyll_reduces_inval_walk_latency(self, results):
+        idyll = results[InvalidationScheme.IDYLL]
+        base = results[InvalidationScheme.BROADCAST]
+        assert idyll.inval_walk_total_latency < base.inval_walk_total_latency
+
+
+class TestVariants:
+    def test_inmem_directory_runs(self):
+        w = small_workload()
+        config = small_config(
+            invalidation_scheme=InvalidationScheme.IDYLL,
+            directory_kind=DirectoryKind.IN_MEMORY,
+        )
+        result = MultiGPUSystem(config).run(w)
+        assert result.exec_time > 0
+
+    def test_transfw_runs_and_forwards(self):
+        w = small_workload(app="PR", accesses=600)
+        result = MultiGPUSystem(small_config(transfw_enabled=True)).run(w)
+        assert result.transfw_forwards + result.transfw_misforwards >= 0
+        assert result.exec_time > 0
+
+    def test_policies_run(self):
+        w = small_workload()
+        for policy in MigrationPolicy:
+            result = MultiGPUSystem(small_config(migration_policy=policy)).run(w)
+            assert result.exec_time > 0
+
+    def test_replication_runs(self):
+        w = small_workload(app="PR")
+        result = MultiGPUSystem(small_config(page_replication=True)).run(w)
+        assert result.exec_time > 0
+        assert result.migrations == 0
+
+    def test_2mb_pages_run(self):
+        w = build_workload(
+            "KM", num_gpus=2, lanes=2, accesses_per_lane=300,
+            page_size=2 * 1024 * 1024, scale=2.0,
+        )
+        config = small_config().with_page_size(2 * 1024 * 1024)
+        result = MultiGPUSystem(config).run(w)
+        assert result.exec_time > 0
+
+    def test_eight_gpus_run(self):
+        w = build_workload("ST", num_gpus=8, lanes=2, accesses_per_lane=200)
+        config = replace(baseline_config(num_gpus=8), trace_lanes=2)
+        result = MultiGPUSystem(config).run(w)
+        assert result.exec_time > 0
+        assert result.num_gpus == 8

@@ -1,0 +1,101 @@
+"""Property-style invariants across random small workloads.
+
+These use hypothesis to generate little multi-GPU access patterns and
+check the simulator's global consistency properties on each.
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import InvalidationScheme, baseline_config
+from repro.gpu.system import MultiGPUSystem
+from repro.memory import pte
+from repro.memory.physmem import PhysicalMemory
+from repro.workloads.base import Workload
+
+BASE = 1 << 20
+
+# Small random traces: up to 2 GPUs x 1 lane x 25 accesses over 6 pages
+# with spread-out gaps (so migrations and faults interleave arbitrarily).
+access = st.tuples(
+    st.integers(min_value=0, max_value=400),
+    st.integers(min_value=BASE, max_value=BASE + 5),
+    st.booleans(),
+)
+lane = st.lists(access, max_size=25)
+workloads = st.tuples(lane, lane)
+
+
+def tiny_config(scheme=InvalidationScheme.BROADCAST):
+    return replace(
+        baseline_config(num_gpus=2).with_scheme(scheme),
+        trace_lanes=1,
+        inflight_per_cu=4,
+    )
+
+
+def run(traces, scheme=InvalidationScheme.BROADCAST):
+    workload = Workload(name="h", traces=[[list(traces[0])], [list(traces[1])]])
+    system = MultiGPUSystem(tiny_config(scheme))
+    result = system.run(workload)
+    return system, result, workload
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workloads)
+def test_every_access_completes(traces):
+    _system, result, workload = run(traces)
+    assert result.accesses == workload.total_accesses()
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workloads)
+def test_single_frame_per_page(traces):
+    """No duplicate residency: every touched page lives on exactly one
+    GPU, and the host mapping points at that frame."""
+    system, _result, workload = run(traces)
+    touched = set(workload.page_sharers())
+    frames = {}
+    for gpu in system.gpus:
+        for ppn, vpn in gpu.memory.resident.items():
+            assert vpn not in frames, f"page {vpn:#x} resident twice"
+            frames[vpn] = ppn
+    assert set(frames) == touched
+    for vpn, ppn in frames.items():
+        host_word = system.driver.host_page_table.translate(vpn)
+        assert host_word is not None
+        assert pte.ppn(host_word) == ppn
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workloads)
+def test_no_open_gates_after_completion(traces):
+    system, _result, _workload = run(traces)
+    assert not system.driver._gates
+    assert not system.driver._migrating
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workloads)
+def test_idyll_scheme_same_functional_outcome(traces):
+    """IDYLL changes timing, never placement correctness: after the run,
+    each GPU's valid local PTEs point at real frames."""
+    system, _result, _workload = run(traces, InvalidationScheme.IDYLL)
+    for gpu in system.gpus:
+        for vpn in gpu.page_table.valid_vpns():
+            word = gpu.page_table.translate(vpn)
+            owner = PhysicalMemory.owner_of(pte.ppn(word))
+            owner_mem = system.gpus[owner].memory
+            # Stale-but-masked entries are allowed only while the IRMB
+            # still holds them; at drain time the mapping must be real.
+            if not (gpu.irmb is not None and gpu.irmb.lookup(vpn)):
+                assert owner_mem.vpn_of(pte.ppn(word)) == vpn
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(workloads, st.sampled_from(list(InvalidationScheme)))
+def test_all_schemes_terminate(traces, scheme):
+    _system, result, workload = run(traces, scheme)
+    assert result.accesses == workload.total_accesses()

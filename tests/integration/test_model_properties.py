@@ -1,0 +1,64 @@
+"""Model-level sanity properties: the simulator must respond to resource
+changes in the physically sensible direction."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import baseline_config
+from repro.gpu.system import MultiGPUSystem
+from repro.workloads.suite import build_workload
+
+
+def small_config(**overrides):
+    config = replace(baseline_config(num_gpus=2), trace_lanes=2, inflight_per_cu=8)
+    return replace(config, **overrides) if overrides else config
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("PR", num_gpus=2, lanes=2, accesses_per_lane=500)
+
+
+class TestResourceMonotonicity:
+    def test_bigger_l2_tlb_fewer_misses(self, workload):
+        small = MultiGPUSystem(small_config()).run(workload)
+        big = MultiGPUSystem(small_config().with_l2_tlb(2048, 64)).run(workload)
+        assert big.l2_misses < small.l2_misses
+
+    def test_more_walkers_not_slower(self, workload):
+        few = MultiGPUSystem(small_config()).run(workload)
+        many = MultiGPUSystem(small_config().with_walker_threads(32)).run(workload)
+        assert many.exec_time <= few.exec_time * 1.05
+
+    def test_slower_walks_slower_execution(self, workload):
+        fast = MultiGPUSystem(small_config()).run(workload)
+        slow_gmmu = replace(small_config().gmmu, walk_latency_per_level=400)
+        slow = MultiGPUSystem(replace(small_config(), gmmu=slow_gmmu)).run(workload)
+        assert slow.exec_time > fast.exec_time
+
+    def test_higher_threshold_fewer_migrations(self, workload):
+        low = MultiGPUSystem(small_config()).run(workload)
+        high = MultiGPUSystem(small_config().with_threshold(1024)).run(workload)
+        assert high.migrations <= low.migrations
+
+    def test_larger_window_not_slower(self, workload):
+        narrow = MultiGPUSystem(replace(small_config(), inflight_per_cu=2)).run(workload)
+        wide = MultiGPUSystem(replace(small_config(), inflight_per_cu=16)).run(workload)
+        assert wide.exec_time < narrow.exec_time
+
+
+class TestFastPathEquivalence:
+    def test_disabling_fast_path_changes_nothing(self, workload, monkeypatch):
+        """The lane fast path is a simulator optimisation only: forcing
+        every access down the slow path must give identical results."""
+        from repro.gpu.gpu import GPU
+
+        reference = MultiGPUSystem(small_config()).run(workload)
+        monkeypatch.setattr(GPU, "try_fast_access", lambda self, l, v, w: None)
+        slowpath = MultiGPUSystem(small_config()).run(workload)
+        assert slowpath.exec_time == reference.exec_time
+        assert slowpath.far_faults == reference.far_faults
+        assert slowpath.migrations == reference.migrations
+        assert slowpath.local_accesses == reference.local_accesses
+        assert slowpath.l1_hits == reference.l1_hits

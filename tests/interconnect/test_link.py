@@ -1,0 +1,98 @@
+"""Unit tests for links and topology."""
+
+import pytest
+
+from repro.config import InterconnectConfig
+from repro.interconnect.link import CONTROL_MESSAGE_BYTES, Link
+from repro.interconnect.topology import Interconnect
+from repro.sim.engine import Engine
+
+
+class TestLink:
+    def test_transfer_takes_serialisation_plus_latency(self):
+        engine = Engine()
+        link = Link(engine, bandwidth_gbps=1.0, latency=50, clock_ghz=1.0)
+        done = link.transfer(100)  # 100 B at 1 GB/s @1 GHz = 100 cycles
+        engine.run()
+        assert done.triggered
+        assert engine.now == 150
+
+    def test_serialisation_contention(self):
+        """Two transfers share the port: the second waits its turn."""
+        engine = Engine()
+        link = Link(engine, bandwidth_gbps=1.0, latency=0, clock_ghz=1.0)
+        link.transfer(100)
+        second = link.transfer(100)
+        engine.run()
+        assert second.triggered
+        assert engine.now == 200
+
+    def test_propagation_is_pipelined(self):
+        """Latency overlaps with the next transfer's serialisation."""
+        engine = Engine()
+        link = Link(engine, bandwidth_gbps=1.0, latency=1000, clock_ghz=1.0)
+        link.transfer(10)
+        link.transfer(10)
+        engine.run()
+        assert engine.now == 20 + 1000  # not 2x latency
+
+    def test_nvlink_page_transfer_cycles(self):
+        """Table 2: 4 KB over 300 GB/s NVLink ~ 14 cycles of occupancy."""
+        link = Link(Engine(), bandwidth_gbps=300.0, latency=200)
+        assert link.serialisation_cycles(4096) == round(4096 / 300)
+
+    def test_stats_accumulate(self):
+        engine = Engine()
+        link = Link(engine, 1.0, 0)
+        link.transfer(10)
+        link.send_control()
+        engine.run()
+        assert link.stats.counter("transfers").value == 2
+        assert link.stats.counter("bytes").value == 10 + CONTROL_MESSAGE_BYTES
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Link(Engine(), 0.0, 1)
+
+
+class TestInterconnect:
+    def make(self, num_gpus=4):
+        engine = Engine()
+        return engine, Interconnect(engine, InterconnectConfig(), num_gpus)
+
+    def test_gpu_to_gpu_completes(self):
+        engine, net = self.make()
+        done = net.gpu_to_gpu(0, 1, 4096)
+        engine.run()
+        assert done.triggered
+
+    def test_self_transfer_rejected(self):
+        _engine, net = self.make()
+        with pytest.raises(ValueError):
+            net.gpu_to_gpu(2, 2, 64)
+
+    def test_unknown_gpu_rejected(self):
+        _engine, net = self.make(2)
+        with pytest.raises(ValueError):
+            net.gpu_to_host(5, 64)
+
+    def test_traffic_accounting(self):
+        engine, net = self.make()
+        net.gpu_to_gpu(0, 1, 1000)
+        net.gpu_to_host(0, 64)
+        net.host_to_gpu(1, 64)
+        engine.run()
+        assert net.nvlink_bytes() == 1000
+        assert net.pcie_bytes() == 128
+
+    def test_pcie_slower_than_nvlink(self):
+        """Table 2: 32 GB/s PCIe vs 300 GB/s NVLink."""
+        engine, net = self.make()
+        t0 = engine.now
+        net.gpu_to_gpu(0, 1, 1 << 20)
+        engine.run()
+        nv = engine.now - t0
+        engine2, net2 = self.make()
+        net2.host_to_gpu(0, 1 << 20)
+        engine2.run()
+        assert engine2.now > nv

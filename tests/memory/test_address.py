@@ -1,0 +1,87 @@
+"""Unit tests for virtual-address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.address import LAYOUT_2M, LAYOUT_4K, AddressLayout
+
+vpns = st.integers(min_value=0, max_value=2**36 - 1)
+
+
+class TestLayoutConstruction:
+    def test_4k_layout(self):
+        assert LAYOUT_4K.offset_bits == 12
+        assert LAYOUT_4K.levels == 4
+
+    def test_2m_layout(self):
+        assert LAYOUT_2M.offset_bits == 21
+        assert LAYOUT_2M.levels == 3
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            AddressLayout(page_size=3000)
+
+    def test_zero_levels_rejected(self):
+        with pytest.raises(ValueError):
+            AddressLayout(page_size=4096, levels=0)
+
+
+class TestVPNMath:
+    def test_vpn_of_va(self):
+        assert LAYOUT_4K.vpn(0x12345000) == 0x12345
+
+    def test_va_roundtrip(self):
+        assert LAYOUT_4K.va(0x12345, 0xABC) == 0x12345ABC
+
+    def test_page_base(self):
+        assert LAYOUT_4K.page_base(0x12345ABC) == 0x12345000
+
+    @given(vpns, st.integers(min_value=0, max_value=4095))
+    def test_vpn_va_roundtrip_property(self, vpn, offset):
+        assert LAYOUT_4K.vpn(LAYOUT_4K.va(vpn, offset)) == vpn
+
+
+class TestLevelIndices:
+    def test_level_index_extracts_nine_bit_chunks(self):
+        vpn = (0x1 << 27) | (0x2 << 18) | (0x3 << 9) | 0x4
+        assert LAYOUT_4K.level_index(vpn, 4) == 0x1
+        assert LAYOUT_4K.level_index(vpn, 3) == 0x2
+        assert LAYOUT_4K.level_index(vpn, 2) == 0x3
+        assert LAYOUT_4K.level_index(vpn, 1) == 0x4
+
+    def test_level_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LAYOUT_4K.level_index(0, 5)
+        with pytest.raises(ValueError):
+            LAYOUT_4K.level_index(0, 0)
+
+    def test_indices_root_to_leaf(self):
+        vpn = (0x1 << 27) | (0x2 << 18) | (0x3 << 9) | 0x4
+        assert LAYOUT_4K.indices(vpn) == [0x1, 0x2, 0x3, 0x4]
+
+    @given(vpns)
+    def test_indices_reassemble_vpn(self, vpn):
+        indices = LAYOUT_4K.indices(vpn)
+        rebuilt = 0
+        for idx in indices:
+            rebuilt = (rebuilt << 9) | idx
+        assert rebuilt == vpn
+
+
+class TestPrefixesAndIRMBFields:
+    @given(vpns)
+    def test_prefix_level1_strips_leaf_index(self, vpn):
+        assert LAYOUT_4K.prefix(vpn, 1) == vpn >> 9
+
+    @given(vpns)
+    def test_irmb_base_offset_partition_vpn(self, vpn):
+        base = LAYOUT_4K.irmb_base(vpn)
+        offset = LAYOUT_4K.irmb_offset(vpn)
+        assert (base << 9) | offset == vpn
+        assert 0 <= offset < 512
+
+    @given(vpns, vpns)
+    def test_same_base_means_same_leaf_node(self, a, b):
+        if LAYOUT_4K.irmb_base(a) == LAYOUT_4K.irmb_base(b):
+            assert LAYOUT_4K.prefix(a, 1) == LAYOUT_4K.prefix(b, 1)

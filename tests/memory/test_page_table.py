@@ -1,0 +1,79 @@
+"""Unit tests for the radix page table."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import pte
+from repro.memory.address import LAYOUT_4K
+from repro.memory.page_table import PageTable
+
+vpns = st.integers(min_value=0, max_value=2**36 - 1)
+
+
+class TestMappings:
+    def test_absent_vpn_translates_to_none(self):
+        assert PageTable(LAYOUT_4K).translate(0x123) is None
+
+    def test_set_and_translate(self):
+        table = PageTable(LAYOUT_4K)
+        table.set_entry(0x123, pte.make_pte(0x456))
+        word = table.translate(0x123)
+        assert word is not None and pte.ppn(word) == 0x456
+
+    def test_invalidate_keeps_stale_word(self):
+        """Lazy invalidation (§6.3) relies on the stale entry remaining
+        in the table with its valid bit cleared."""
+        table = PageTable(LAYOUT_4K)
+        table.set_entry(5, pte.make_pte(9))
+        assert table.invalidate(5) is True
+        assert table.translate(5) is None
+        stale = table.entry(5)
+        assert stale is not None and pte.ppn(stale) == 9
+
+    def test_invalidate_absent_returns_false(self):
+        assert PageTable(LAYOUT_4K).invalidate(1) is False
+
+    def test_invalidate_twice_second_is_unnecessary(self):
+        table = PageTable(LAYOUT_4K)
+        table.set_entry(5, pte.make_pte(9))
+        assert table.invalidate(5) is True
+        assert table.invalidate(5) is False
+
+    def test_drop_removes_entry(self):
+        table = PageTable(LAYOUT_4K)
+        table.set_entry(5, pte.make_pte(9))
+        table.drop(5)
+        assert table.entry(5) is None
+
+    def test_valid_vpns_iterates_only_valid(self):
+        table = PageTable(LAYOUT_4K)
+        table.set_entry(1, pte.make_pte(10))
+        table.set_entry(2, pte.make_pte(20))
+        table.invalidate(2)
+        assert list(table.valid_vpns()) == [1]
+
+    @given(st.dictionaries(vpns, st.integers(min_value=0, max_value=2**40 - 1), max_size=50))
+    def test_translate_matches_reference(self, mapping):
+        table = PageTable(LAYOUT_4K)
+        for vpn, ppn_value in mapping.items():
+            table.set_entry(vpn, pte.make_pte(ppn_value))
+        for vpn, ppn_value in mapping.items():
+            word = table.translate(vpn)
+            assert word is not None and pte.ppn(word) == ppn_value
+
+
+class TestWalkGeometry:
+    def test_cold_walk_costs_all_levels(self):
+        table = PageTable(LAYOUT_4K)
+        assert table.walk_levels(0x123) == 4
+
+    def test_cached_level_reduces_accesses(self):
+        table = PageTable(LAYOUT_4K)
+        assert table.walk_levels(0x123, cached_level=1) == 1
+        assert table.walk_levels(0x123, cached_level=3) == 3
+
+    def test_node_id_distinguishes_levels(self):
+        table = PageTable(LAYOUT_4K)
+        a = table.node_id(0x123, 1)
+        b = table.node_id(0x123, 2)
+        assert a != b

@@ -1,0 +1,51 @@
+"""Unit tests for the per-GPU frame allocator."""
+
+import pytest
+
+from repro.memory.physmem import MemoryExhausted, PhysicalMemory
+
+
+def make_mem(gpu_id=0, frames=4):
+    return PhysicalMemory(gpu_id, capacity_bytes=frames * 4096, page_size=4096)
+
+
+class TestAllocation:
+    def test_allocate_tracks_residency(self):
+        mem = make_mem()
+        ppn = mem.allocate(vpn=0x42)
+        assert mem.vpn_of(ppn) == 0x42
+        assert mem.frames_in_use == 1
+
+    def test_ppns_are_globally_disjoint_per_gpu(self):
+        a = make_mem(gpu_id=0).allocate(1)
+        b = make_mem(gpu_id=1).allocate(1)
+        assert PhysicalMemory.owner_of(a) == 0
+        assert PhysicalMemory.owner_of(b) == 1
+        assert a != b
+
+    def test_exhaustion_raises(self):
+        mem = make_mem(frames=2)
+        mem.allocate(1)
+        mem.allocate(2)
+        with pytest.raises(MemoryExhausted):
+            mem.allocate(3)
+
+    def test_free_recycles_frames(self):
+        mem = make_mem(frames=1)
+        ppn = mem.allocate(1)
+        mem.free(ppn)
+        assert mem.frames_free == 1
+        assert mem.allocate(2) == ppn
+
+    def test_free_unknown_ppn_raises(self):
+        with pytest.raises(KeyError):
+            make_mem().free(12345)
+
+    def test_owner_of_large_gpu_id(self):
+        mem = PhysicalMemory(31, capacity_bytes=4096, page_size=4096)
+        assert PhysicalMemory.owner_of(mem.allocate(1)) == 31
+
+    def test_table2_capacity(self):
+        """Table 2: 4 GB of device memory = 1 Mi 4-KB frames."""
+        mem = PhysicalMemory(0, 4 * 1024**3, 4096)
+        assert mem.capacity_frames == 1024 * 1024

@@ -1,0 +1,108 @@
+"""Unit tests for the PTE bit layout, including the in-PTE directory bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import pte
+
+ppns = st.integers(min_value=0, max_value=2**40 - 1)
+gpu_ids = st.integers(min_value=0, max_value=63)
+
+
+class TestBasicPTE:
+    def test_make_pte_is_valid(self):
+        word = pte.make_pte(0x1234)
+        assert pte.is_valid(word)
+        assert pte.ppn(word) == 0x1234
+        assert not pte.is_remote(word)
+
+    def test_clear_and_set_valid(self):
+        word = pte.make_pte(5)
+        cleared = pte.clear_valid(word)
+        assert not pte.is_valid(cleared)
+        assert pte.ppn(cleared) == 5  # stale PPN preserved (lazy invalidation)
+        assert pte.is_valid(pte.set_valid(cleared))
+
+    def test_writable_flag(self):
+        assert pte.make_pte(1, writable=True) & pte.PTE_WRITABLE
+        assert not (pte.make_pte(1, writable=False) & pte.PTE_WRITABLE)
+
+    @given(ppns)
+    def test_ppn_roundtrip(self, ppn_value):
+        assert pte.ppn(pte.make_pte(ppn_value)) == ppn_value
+
+
+class TestRemoteMapping:
+    def test_remote_pte_carries_owner(self):
+        word = pte.make_remote_pte(0x99, owner_gpu=3)
+        assert pte.is_remote(word)
+        assert pte.remote_gpu(word) == 3
+        assert pte.ppn(word) == 0x99
+
+    @given(ppns, st.integers(min_value=0, max_value=7))
+    def test_remote_roundtrip(self, ppn_value, owner):
+        word = pte.make_remote_pte(ppn_value, owner)
+        assert pte.remote_gpu(word) == owner
+        assert pte.ppn(word) == ppn_value
+        assert pte.is_valid(word)
+
+    @given(ppns, st.integers(min_value=8, max_value=31))
+    def test_large_owner_hint_wraps_modulo_8(self, ppn_value, owner):
+        """The 3-bit owner field is a debugging hint; large GPU ids wrap
+        (the true owner always comes from the PPN range)."""
+        word = pte.make_remote_pte(ppn_value, owner)
+        assert pte.remote_gpu(word) == owner % 8
+        assert pte.ppn(word) == ppn_value  # PPN never corrupted
+
+
+class TestDirectoryBits:
+    def test_fresh_pte_has_no_directory_bits(self):
+        assert pte.directory_bits(pte.make_pte(1)) == 0
+
+    def test_set_bit_uses_modular_hash(self):
+        word = pte.make_pte(1)
+        word = pte.set_directory_bit(word, gpu_id=3, num_bits=11)
+        assert pte.directory_bits(word, 11) == 1 << 3
+
+    def test_hash_aliases_beyond_num_bits(self):
+        """§6.2: h(gpu) = gpu % m — GPU 11 aliases onto bit 0 with m=11."""
+        word = pte.make_pte(1)
+        word = pte.set_directory_bit(word, gpu_id=11, num_bits=11)
+        assert pte.directory_bits(word, 11) == 1 << 0
+
+    def test_four_bit_directory(self):
+        word = pte.make_pte(1)
+        word = pte.set_directory_bit(word, gpu_id=6, num_bits=4)
+        assert pte.directory_bits(word, 4) == 1 << 2
+
+    def test_clear_directory_bits_preserves_rest(self):
+        word = pte.make_remote_pte(0x1234, 2)
+        dirty = pte.set_directory_bit(word, 5)
+        cleared = pte.clear_directory_bits(dirty)
+        assert cleared == word
+
+    def test_with_directory_bits(self):
+        word = pte.with_directory_bits(pte.make_pte(1), 0b101)
+        assert pte.directory_bits(word) == 0b101
+
+    def test_directory_bits_do_not_corrupt_ppn(self):
+        word = pte.make_pte(2**40 - 1)
+        for gpu in range(16):
+            word = pte.set_directory_bit(word, gpu)
+        assert pte.ppn(word) == 2**40 - 1
+        assert pte.is_valid(word)
+
+    def test_invalid_num_bits_rejected(self):
+        with pytest.raises(ValueError):
+            pte.directory_bits(0, num_bits=0)
+        with pytest.raises(ValueError):
+            pte.set_directory_bit(0, 0, num_bits=12)
+
+    @given(gpu_ids, st.integers(min_value=1, max_value=11))
+    def test_set_bit_never_false_negative(self, gpu, num_bits):
+        """Aliasing may add spurious holders but the setting GPU's own
+        hashed bit is always observable — false positives only (§6.2)."""
+        word = pte.set_directory_bit(pte.make_pte(1), gpu, num_bits)
+        bits = pte.directory_bits(word, num_bits)
+        assert bits & (1 << (gpu % num_bits))

@@ -1,0 +1,81 @@
+"""Unit tests for the page-walk cache."""
+
+import pytest
+
+from repro.memory.address import LAYOUT_4K
+from repro.memory.walk_cache import PageWalkCache
+
+
+def make_pwc(entries=8):
+    return PageWalkCache(entries, LAYOUT_4K)
+
+
+class TestLookup:
+    def test_cold_miss(self):
+        pwc = make_pwc()
+        assert pwc.deepest_cached_level(0x12345) is None
+
+    def test_fill_then_leaf_hit(self):
+        pwc = make_pwc()
+        pwc.fill(0x12345)
+        assert pwc.deepest_cached_level(0x12345) == 1
+
+    def test_sibling_page_shares_leaf_node(self):
+        """Two VPNs differing only in the leaf index share the L1 node —
+        the basis of IRMB batch amortisation (§6.3)."""
+        pwc = make_pwc()
+        base = 0x40 << 9
+        pwc.fill(base | 0x01)
+        assert pwc.deepest_cached_level(base | 0x1FF) == 1
+
+    def test_distant_page_hits_upper_level_only(self):
+        pwc = make_pwc(entries=16)
+        pwc.fill(0x1 << 9)
+        # same L2 node (same vpn>>18) but different leaf node
+        other = (0x2 << 9)
+        assert pwc.deepest_cached_level(other) == 2
+
+    def test_unrelated_page_misses(self):
+        pwc = make_pwc()
+        pwc.fill(0)
+        far = 0x7 << 27  # differs even at the root-child level
+        assert pwc.deepest_cached_level(far) is None
+
+
+class TestReplacement:
+    def test_lru_eviction(self):
+        pwc = make_pwc(entries=3)
+        pwc.fill(0x0 << 9)  # occupies 3 tags (levels 3, 2, 1)
+        pwc.fill(0x1 << 9)  # same upper levels, new leaf tag -> evicts LRU
+        assert pwc.stats.counter("evictions").value >= 1
+
+    def test_probe_refreshes_lru(self):
+        pwc = PageWalkCache(2, LAYOUT_4K)
+        pwc.fill(0x0, down_to_level=1)  # inserts 3 tags into 2 slots
+        assert len(pwc) == 2
+
+    def test_invalidate_all(self):
+        pwc = make_pwc()
+        pwc.fill(0x123)
+        pwc.invalidate_all()
+        assert len(pwc) == 0
+        assert pwc.deepest_cached_level(0x123) is None
+
+    def test_capacity_bound_holds(self):
+        pwc = make_pwc(entries=5)
+        for i in range(100):
+            pwc.fill(i << 9)
+        assert len(pwc) <= 5
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            PageWalkCache(0, LAYOUT_4K)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        pwc = make_pwc()
+        pwc.deepest_cached_level(1)  # miss
+        pwc.fill(1)
+        pwc.deepest_cached_level(1)  # hit
+        assert pwc.hit_rate() == 0.5

@@ -1,0 +1,84 @@
+"""Unit tests for metric collection and report formatting."""
+
+from dataclasses import replace
+
+from repro.config import baseline_config
+from repro.gpu.system import MultiGPUSystem
+from repro.metrics.collector import SimulationResult
+from repro.metrics.report import format_series, format_table, geomean, mean
+from repro.workloads.base import Workload
+
+PAGE = 1 << 20
+
+
+def run_small():
+    config = replace(baseline_config(num_gpus=2), trace_lanes=1, inflight_per_cu=4)
+    trace0 = [(10, PAGE + 512 * i, False) for i in range(20)]
+    trace1 = [(10, PAGE + 512 * i, i % 3 == 0) for i in range(20)]
+    workload = Workload(name="mini", traces=[[trace0], [trace1]])
+    return MultiGPUSystem(config).run(workload)
+
+
+class TestCollector:
+    def test_basic_fields_populated(self):
+        result = run_small()
+        assert result.workload == "mini"
+        assert result.num_gpus == 2
+        assert result.exec_time > 0
+        assert result.accesses == 40
+        assert result.instructions > 0
+        assert result.far_faults > 0
+        assert result.mpki > 0
+
+    def test_tlb_counts_consistent(self):
+        result = run_small()
+        assert result.l1_hits + result.l1_misses > 0
+        assert result.l2_misses <= result.l1_misses
+
+    def test_demand_latency_mean_consistent(self):
+        result = run_small()
+        if result.demand_miss_count:
+            expected = result.demand_miss_total_latency / result.demand_miss_count
+            assert abs(result.demand_miss_mean_latency - expected) < 1e-9
+
+    def test_speedup_over(self):
+        result = run_small()
+        faster = SimulationResult("w", "s", 2, exec_time=result.exec_time // 2)
+        assert abs(faster.speedup_over(result) - 2.0) < 0.01
+
+    def test_unnecessary_fraction(self):
+        r = SimulationResult("w", "s", 2)
+        r.inval_received_necessary = 6
+        r.inval_received_unnecessary = 2
+        assert r.inval_received_total == 8
+        assert r.unnecessary_fraction == 0.25
+
+    def test_zero_division_guards(self):
+        r = SimulationResult("w", "s", 2)
+        assert r.speedup_over(r) == 0.0
+        assert r.unnecessary_fraction == 0.0
+
+
+class TestReport:
+    def test_mean_and_geomean(self):
+        assert mean([1.0, 3.0]) == 2.0
+        assert abs(geomean([1.0, 4.0]) - 2.0) < 1e-12
+        assert mean([]) == 0.0
+        assert geomean([]) == 0.0
+
+    def test_geomean_ignores_nonpositive(self):
+        assert abs(geomean([2.0, 0.0, -1.0, 8.0]) - 4.0) < 1e-12
+
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], ["xyz", 3.25]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "2.500" in text
+        assert "xyz" in text
+
+    def test_format_series_appends_average(self):
+        text = format_series(
+            "S", {"idyll": {"A": 2.0, "B": 4.0}}, apps=["A", "B"]
+        )
+        assert "Avg" in text
+        assert "3.000" in text

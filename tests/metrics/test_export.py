@@ -1,0 +1,61 @@
+"""Unit tests for CSV/JSON export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.metrics.collector import SimulationResult
+from repro.metrics.export import (
+    result_to_json,
+    results_to_csv,
+    series_to_csv,
+    series_to_json,
+)
+
+SERIES = {
+    "idyll": {"PR": 1.5, "KM": 1.2},
+    "zero": {"PR": 1.8, "KM": 1.3, "BS": 1.0},
+}
+
+
+class TestSeriesExport:
+    def test_csv_has_union_of_columns(self, tmp_path):
+        path = tmp_path / "s.csv"
+        series_to_csv(SERIES, path)
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["series", "PR", "KM", "BS"]
+        assert rows[1] == ["idyll", "1.5", "1.2", ""]
+        assert rows[2][0] == "zero"
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "s.json"
+        series_to_json(SERIES, path)
+        assert json.loads(path.read_text()) == SERIES
+
+
+class TestResultExport:
+    def test_result_to_json(self, tmp_path):
+        result = SimulationResult("PR", "idyll", 4, exec_time=123, migrations=7)
+        path = tmp_path / "r.json"
+        result_to_json(result, path)
+        doc = json.loads(path.read_text())
+        assert doc["exec_time"] == 123
+        assert doc["migrations"] == 7
+        assert doc["workload"] == "PR"
+
+    def test_results_to_csv(self, tmp_path):
+        results = [
+            SimulationResult("PR", "idyll", 4, exec_time=1),
+            SimulationResult("KM", "broadcast", 4, exec_time=2),
+        ]
+        path = tmp_path / "rs.csv"
+        results_to_csv(results, path)
+        rows = list(csv.DictReader(path.open()))
+        assert len(rows) == 2
+        assert rows[0]["workload"] == "PR"
+        assert "extras" not in rows[0]
+
+    def test_empty_results_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            results_to_csv([], tmp_path / "x.csv")

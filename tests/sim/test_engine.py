@@ -1,0 +1,233 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import AllOf, Engine, Event, Process, SimulationError, Timeout
+
+
+class TestEngineBasics:
+    def test_clock_starts_at_zero(self):
+        assert Engine().now == 0
+
+    def test_schedule_runs_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(30, order.append, "c")
+        engine.schedule(10, order.append, "a")
+        engine.schedule(20, order.append, "b")
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_cycle_events_fire_in_schedule_order(self):
+        engine = Engine()
+        order = []
+        for tag in range(5):
+            engine.schedule(7, order.append, tag)
+        engine.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_zero_delay_uses_ready_queue(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(0, seen.append, 1)
+        engine.run()
+        assert seen == [1]
+        assert engine.now == 0
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+
+    def test_run_returns_final_time(self):
+        engine = Engine()
+        engine.schedule(42, lambda: None)
+        assert engine.run() == 42
+
+    def test_run_until_stops_clock(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(100, fired.append, True)
+        assert engine.run(until=50) == 50
+        assert fired == []
+        # A second run drains the rest.
+        engine.run()
+        assert fired == [True]
+
+    def test_run_until_advances_idle_clock(self):
+        engine = Engine()
+        engine.run(until=99)
+        assert engine.now == 99
+
+    def test_peek_reports_next_event(self):
+        engine = Engine()
+        assert engine.peek() is None
+        engine.schedule(5, lambda: None)
+        assert engine.peek() == 5
+
+    def test_nested_scheduling(self):
+        engine = Engine()
+        times = []
+
+        def outer():
+            times.append(engine.now)
+            engine.schedule(10, inner)
+
+        def inner():
+            times.append(engine.now)
+
+        engine.schedule(5, outer)
+        engine.run()
+        assert times == [5, 15]
+
+
+class TestEvent:
+    def test_succeed_fires_callbacks(self):
+        engine = Engine()
+        ev = engine.event()
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        ev.succeed(123)
+        engine.run()
+        assert got == [123]
+
+    def test_callback_after_trigger_still_fires(self):
+        engine = Engine()
+        ev = engine.event()
+        ev.succeed("x")
+        got = []
+        ev.add_callback(lambda e: got.append(e.value))
+        engine.run()
+        assert got == ["x"]
+
+    def test_double_succeed_rejected(self):
+        engine = Engine()
+        ev = engine.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_value_before_trigger_rejected(self):
+        engine = Engine()
+        ev = engine.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_timeout_fires_after_delay(self):
+        engine = Engine()
+        ev = Timeout(engine, 25, value="done")
+        engine.run()
+        assert ev.triggered
+        assert ev.value == "done"
+        assert engine.now == 25
+
+
+class TestProcess:
+    def test_process_yields_int_timeouts(self):
+        engine = Engine()
+        trace = []
+
+        def proc():
+            trace.append(engine.now)
+            yield 10
+            trace.append(engine.now)
+            yield 5
+            trace.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert trace == [0, 10, 15]
+
+    def test_zero_int_yield_continues_immediately(self):
+        engine = Engine()
+
+        def proc():
+            yield 0
+            yield 0
+            return engine.now
+
+        p = engine.process(proc())
+        engine.run()
+        assert p.value == 0
+
+    def test_process_return_value_propagates(self):
+        engine = Engine()
+
+        def child():
+            yield 3
+            return "result"
+
+        def parent():
+            value = yield engine.process(child())
+            return value + "!"
+
+        p = engine.process(parent())
+        engine.run()
+        assert p.value == "result!"
+
+    def test_process_waits_on_event(self):
+        engine = Engine()
+        ev = engine.event()
+        got = []
+
+        def waiter():
+            got.append((yield ev))
+
+        engine.process(waiter())
+        engine.schedule(7, lambda: ev.succeed("ping"))
+        engine.run()
+        assert got == ["ping"]
+
+    def test_yielding_garbage_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield "not a waitable"
+
+        engine.process(bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_many_sequential_processes_terminate(self):
+        engine = Engine()
+        done = []
+
+        def worker(i):
+            yield i + 1
+            done.append(i)
+
+        for i in range(100):
+            engine.process(worker(i))
+        engine.run()
+        assert len(done) == 100
+
+
+class TestAllOf:
+    def test_allof_waits_for_all(self):
+        engine = Engine()
+        events = [Timeout(engine, d) for d in (5, 15, 10)]
+        combined = AllOf(engine, events)
+        finished_at = []
+        combined.add_callback(lambda _e: finished_at.append(engine.now))
+        engine.run()
+        assert finished_at == [15]
+
+    def test_allof_empty_fires_immediately(self):
+        engine = Engine()
+        combined = AllOf(engine, [])
+        assert combined.triggered
+
+    def test_allof_collects_values(self):
+        engine = Engine()
+        events = [Timeout(engine, 1, value="a"), Timeout(engine, 2, value="b")]
+        combined = AllOf(engine, events)
+        engine.run()
+        assert combined.value == ["a", "b"]
+
+    def test_allof_with_pretriggered_children(self):
+        engine = Engine()
+        ev = engine.event()
+        ev.succeed(1)
+        combined = AllOf(engine, [ev, Timeout(engine, 4, value=2)])
+        engine.run()
+        assert combined.value == [1, 2]

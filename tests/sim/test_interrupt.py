@@ -1,0 +1,116 @@
+"""Tests for process interruption and edge cases of the event kernel."""
+
+import pytest
+
+from repro.sim.engine import Engine, Interrupt, SimulationError
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_waiting_process(self):
+        engine = Engine()
+        log = []
+
+        def victim():
+            try:
+                yield 1000
+            except Interrupt as exc:
+                log.append(("interrupted", exc.cause, engine.now))
+
+        proc = engine.process(victim())
+        engine.schedule(10, proc.interrupt, "reason")
+        engine.run()
+        assert log == [("interrupted", "reason", 10)]
+
+    def test_interrupt_detaches_from_waited_event(self):
+        engine = Engine()
+        ev = engine.event()
+
+        def victim():
+            try:
+                yield ev
+            except Interrupt:
+                return "stopped"
+
+        proc = engine.process(victim())
+        engine.schedule(5, proc.interrupt)
+        engine.run()
+        assert proc.value == "stopped"
+        # The original event firing later must not resume the dead process.
+        ev.succeed("late")
+        engine.run()
+        assert proc.value == "stopped"
+
+    def test_interrupting_finished_process_is_noop(self):
+        engine = Engine()
+
+        def quick():
+            yield 1
+
+        proc = engine.process(quick())
+        engine.run()
+        proc.interrupt()
+        engine.run()
+        assert proc.triggered
+
+    def test_uncaught_interrupt_terminates_process(self):
+        engine = Engine()
+
+        def victim():
+            yield 1000
+
+        proc = engine.process(victim())
+        engine.schedule(1, proc.interrupt)
+        engine.run()
+        assert proc.triggered
+        assert proc.value is None
+
+
+class TestEngineEdgeCases:
+    def test_run_while_running_rejected(self):
+        engine = Engine()
+
+        def reentrant():
+            engine.run()
+            yield 1
+
+        engine.process(reentrant())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_ready_queue_drains_before_heap(self):
+        engine = Engine()
+        order = []
+        engine.schedule(0, order.append, "zero")
+        engine.schedule(1, order.append, "one")
+        engine.run()
+        assert order == ["zero", "one"]
+
+    def test_zero_delay_cascade_same_cycle(self):
+        engine = Engine()
+        depth = []
+
+        def cascade(n):
+            if n:
+                engine.schedule(0, cascade, n - 1)
+            else:
+                depth.append(engine.now)
+
+        engine.schedule(5, cascade, 50)
+        engine.run()
+        assert depth == [5]
+
+    def test_event_fail_propagates_exception(self):
+        engine = Engine()
+        ev = engine.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield ev
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        engine.process(waiter())
+        ev.fail(RuntimeError("boom"))
+        engine.run()
+        assert caught == ["boom"]

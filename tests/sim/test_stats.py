@@ -1,0 +1,99 @@
+"""Unit tests for the statistics primitives."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import Counter, Histogram, LatencyStat, StatsGroup
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_add(self):
+        c = Counter("c")
+        c.add()
+        c.add(5)
+        assert c.value == 6
+
+
+class TestLatencyStat:
+    def test_empty_mean_is_zero(self):
+        assert LatencyStat("l").mean == 0.0
+
+    def test_records_min_max_total(self):
+        stat = LatencyStat("l")
+        for sample in (5, 1, 9):
+            stat.record(sample)
+        assert (stat.count, stat.total, stat.min, stat.max) == (3, 15, 1, 9)
+        assert stat.mean == 5.0
+
+    def test_merge(self):
+        a, b = LatencyStat("a"), LatencyStat("b")
+        a.record(10)
+        b.record(2)
+        b.record(30)
+        a.merge(b)
+        assert (a.count, a.total, a.min, a.max) == (3, 42, 2, 30)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1))
+    def test_aggregates_match_python(self, samples):
+        stat = LatencyStat("l")
+        for s in samples:
+            stat.record(s)
+        assert stat.count == len(samples)
+        assert stat.total == sum(samples)
+        assert stat.min == min(samples)
+        assert stat.max == max(samples)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1),
+        st.lists(st.integers(min_value=0, max_value=1000), min_size=1),
+    )
+    def test_merge_equivalent_to_combined_stream(self, xs, ys):
+        merged = LatencyStat("m")
+        for s in xs:
+            merged.record(s)
+        other = LatencyStat("o")
+        for s in ys:
+            other.record(s)
+        merged.merge(other)
+        combined = LatencyStat("c")
+        for s in xs + ys:
+            combined.record(s)
+        assert (merged.count, merged.total, merged.min, merged.max) == (
+            combined.count,
+            combined.total,
+            combined.min,
+            combined.max,
+        )
+
+
+class TestHistogram:
+    def test_fractions_sum_to_one(self):
+        hist = Histogram("h")
+        hist.record(1, 3)
+        hist.record(2, 1)
+        assert hist.total == 4
+        assert abs(sum(hist.fractions([1, 2])) - 1.0) < 1e-12
+
+    def test_missing_key_fraction_zero(self):
+        assert Histogram("h").fraction(5) == 0.0
+
+
+class TestStatsGroup:
+    def test_lazily_creates_named_stats(self):
+        group = StatsGroup("g")
+        group.counter("x").add(2)
+        group.latency("y").record(7)
+        assert group.counter("x").value == 2
+        assert group.counter("x") is group.counter("x")
+
+    def test_as_dict_flattens(self):
+        group = StatsGroup("g")
+        group.counter("hits").add(3)
+        group.latency("lat").record(10)
+        flat = group.as_dict()
+        assert flat["hits"] == 3
+        assert flat["lat.total"] == 10
+        assert flat["lat.mean"] == 10.0

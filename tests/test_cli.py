@@ -1,0 +1,86 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestList:
+    def test_list_prints_suite(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for abbr in ("KM", "PR", "MT"):
+            assert abbr in out
+        assert "VGG16" in out
+        assert "fig11" in out
+
+    def test_figures_cover_the_evaluation(self):
+        expected = {f"fig{n:02d}" for n in (1, 2, 4, 5, 6, 7)} | {
+            f"fig{n}" for n in range(11, 25)
+        } | {"table3"}
+        assert set(FIGURES) == expected
+
+
+class TestRunAndCompare:
+    def test_run_prints_metrics(self, capsys):
+        code = main([
+            "run", "SC", "--gpus", "2", "--lanes", "2", "--accesses", "120",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "exec_time" in out
+        assert "far_faults" in out
+
+    def test_run_with_scheme_and_policy(self, capsys):
+        code = main([
+            "run", "SC", "--gpus", "2", "--lanes", "2", "--accesses", "120",
+            "--scheme", "idyll", "--policy", "first-touch",
+        ])
+        assert code == 0
+        assert "scheme=idyll" in capsys.readouterr().out
+
+    def test_compare_lists_all_schemes(self, capsys):
+        code = main(["compare", "SC", "--gpus", "2", "--lanes", "2", "--accesses", "120"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for scheme in ("broadcast", "idyll", "zero-latency"):
+            assert scheme in out
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "NOPE", "--accesses", "50"])
+
+
+class TestFigureAndTrace:
+    def test_figure_with_exports(self, tmp_path, capsys):
+        csv_path = tmp_path / "fig04.csv"
+        json_path = tmp_path / "fig04.json"
+        code = main([
+            "figure", "fig04", "--lanes", "2", "--accesses", "100",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ])
+        assert code == 0
+        assert csv_path.exists() and json_path.exists()
+        doc = json.loads(json_path.read_text())
+        assert "shared_by_4" in doc
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("series,")
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "sc.json"
+        code = main([
+            "trace", "SC", str(out_path), "--gpus", "2", "--lanes", "2",
+            "--accesses", "100",
+        ])
+        assert code == 0
+        from repro.workloads.io import load_workload
+
+        workload = load_workload(out_path)
+        assert workload.name == "SC"
+        assert workload.total_accesses() == 2 * 2 * 100
+
+    def test_bad_figure_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

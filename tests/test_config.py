@@ -1,0 +1,115 @@
+"""Unit tests for the configuration layer (Table 2)."""
+
+import pytest
+
+from repro.config import (
+    DirectoryKind,
+    GMMUConfig,
+    InterconnectConfig,
+    InvalidationScheme,
+    IRMBConfig,
+    MigrationPolicy,
+    SystemConfig,
+    TLBConfig,
+    UVMConfig,
+    baseline_config,
+)
+
+
+class TestTable2Defaults:
+    def test_baseline_matches_table2(self):
+        config = baseline_config()
+        assert config.num_gpus == 4
+        assert config.cus_per_gpu == 64
+        assert config.page_size == 4096
+        assert config.l1_tlb == TLBConfig(32, 32, 1)
+        assert config.l2_tlb == TLBConfig(512, 16, 10)
+        assert config.gmmu.walker_threads == 8
+        assert config.gmmu.walk_latency_per_level == 100
+        assert config.gmmu.walk_cache_entries == 128
+        assert config.gmmu.walk_queue_entries == 64
+        assert config.uvm.access_counter_threshold == 256
+        assert config.uvm.fault_batch_size == 256
+        assert config.interconnect.nvlink_bandwidth_gbps == 300.0
+        assert config.interconnect.pcie_bandwidth_gbps == 32.0
+        assert config.migration_policy is MigrationPolicy.ACCESS_COUNTER
+        assert config.invalidation_scheme is InvalidationScheme.BROADCAST
+        assert config.directory_kind is DirectoryKind.IN_PTE
+        assert config.directory_bits == 11
+
+    def test_effective_threshold_scaling(self):
+        uvm = UVMConfig()
+        assert uvm.effective_threshold == max(1, 256 // uvm.threshold_divisor)
+        assert UVMConfig(access_counter_threshold=512).effective_threshold == \
+            2 * uvm.effective_threshold
+
+    def test_irmb_default_geometry(self):
+        irmb = IRMBConfig()
+        assert (irmb.bases, irmb.offsets_per_base) == (32, 16)
+        assert irmb.size_bytes == 720.0
+
+
+class TestValidation:
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_gpus=0)
+
+    def test_non_power_of_two_page_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(page_size=5000)
+
+    def test_zero_directory_bits_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(directory_bits=0)
+
+
+class TestVariantBuilders:
+    def test_with_scheme(self):
+        config = baseline_config().with_scheme(InvalidationScheme.IDYLL)
+        assert config.invalidation_scheme is InvalidationScheme.IDYLL
+        assert config.num_gpus == 4  # everything else unchanged
+
+    def test_with_gpus(self):
+        assert baseline_config().with_gpus(16).num_gpus == 16
+
+    def test_with_irmb(self):
+        config = baseline_config().with_irmb(64, 16)
+        assert (config.irmb.bases, config.irmb.offsets_per_base) == (64, 16)
+
+    def test_with_walker_threads(self):
+        assert baseline_config().with_walker_threads(32).gmmu.walker_threads == 32
+
+    def test_with_l2_tlb(self):
+        config = baseline_config().with_l2_tlb(2048, 64)
+        assert config.l2_tlb.entries == 2048
+        assert config.l2_tlb.associativity == 64
+
+    def test_with_threshold(self):
+        assert baseline_config().with_threshold(512).uvm.access_counter_threshold == 512
+
+    def test_with_page_size(self):
+        assert baseline_config().with_page_size(2 * 1024 * 1024).page_size == 2 * 1024 * 1024
+
+    def test_with_directory_bits(self):
+        assert baseline_config().with_directory_bits(4).directory_bits == 4
+
+    def test_configs_are_hashable(self):
+        """The experiment runner memoises on the config value."""
+        a = baseline_config()
+        b = baseline_config()
+        assert hash(a) == hash(b)
+        assert a == b
+        assert a.with_gpus(8) != a
+
+
+class TestInterconnectMath:
+    def test_nvlink_cycles(self):
+        ic = InterconnectConfig()
+        assert ic.nvlink_cycles(4096) == int(4096 / 300.0)
+
+    def test_pcie_cycles(self):
+        ic = InterconnectConfig()
+        assert ic.pcie_cycles(4096) == 128
+
+    def test_minimum_one_cycle(self):
+        assert InterconnectConfig().nvlink_cycles(1) == 1

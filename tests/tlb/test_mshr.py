@@ -1,0 +1,56 @@
+"""Unit tests for the coalescing MSHR."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.tlb.mshr import MSHR
+
+
+class TestAllocation:
+    def test_first_allocator_is_primary(self):
+        mshr = MSHR(Engine())
+        assert mshr.allocate(5) is True
+        assert mshr.allocate(5) is False
+        assert 5 in mshr
+        assert mshr.outstanding == 1
+
+    def test_distinct_vpns_independent(self):
+        mshr = MSHR(Engine())
+        assert mshr.allocate(1)
+        assert mshr.allocate(2)
+        assert mshr.outstanding == 2
+
+
+class TestCoalescing:
+    def test_waiters_released_with_fill_value(self):
+        engine = Engine()
+        mshr = MSHR(engine)
+        mshr.allocate(5)
+        waiters = [mshr.wait(5) for _ in range(3)]
+        released = mshr.complete(5, value=0xCAFE)
+        engine.run()
+        assert released == 3
+        assert all(w.value == 0xCAFE for w in waiters)
+        assert 5 not in mshr
+
+    def test_wait_without_allocation_raises(self):
+        with pytest.raises(KeyError):
+            MSHR(Engine()).wait(5)
+
+    def test_complete_without_allocation_raises(self):
+        with pytest.raises(KeyError):
+            MSHR(Engine()).complete(5)
+
+    def test_reallocation_after_complete(self):
+        mshr = MSHR(Engine())
+        mshr.allocate(5)
+        mshr.complete(5)
+        assert mshr.allocate(5) is True
+
+    def test_stats_track_primary_and_coalesced(self):
+        mshr = MSHR(Engine())
+        mshr.allocate(5)
+        mshr.wait(5)
+        mshr.wait(5)
+        assert mshr.stats.counter("primary_misses").value == 1
+        assert mshr.stats.counter("coalesced_misses").value == 2

@@ -1,0 +1,104 @@
+"""Unit tests for the set-associative TLB."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import TLBConfig
+from repro.tlb.tlb import TLB
+
+
+def make_tlb(entries=8, assoc=2, latency=1):
+    return TLB(TLBConfig(entries, assoc, latency))
+
+
+class TestGeometry:
+    def test_table2_l1(self):
+        tlb = TLB(TLBConfig(32, 32, 1))  # fully associative
+        assert tlb.config.sets == 1
+
+    def test_table2_l2(self):
+        tlb = TLB(TLBConfig(512, 16, 10))
+        assert tlb.config.sets == 32
+        assert tlb.lookup_latency == 10
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            TLBConfig(10, 3, 1)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        tlb = make_tlb()
+        assert tlb.lookup(5) is None
+        tlb.insert(5, 0xAB)
+        assert tlb.lookup(5) == 0xAB
+        assert tlb.stats.counter("hits").value == 1
+        assert tlb.stats.counter("misses").value == 1
+
+    def test_insert_overwrites(self):
+        tlb = make_tlb()
+        tlb.insert(5, 1)
+        tlb.insert(5, 2)
+        assert tlb.lookup(5) == 2
+
+    def test_peek_and_probe_do_not_touch_stats(self):
+        tlb = make_tlb()
+        tlb.insert(5, 1)
+        assert tlb.probe(5)
+        assert tlb.peek(5) == 1
+        assert tlb.peek(6) is None
+        assert tlb.stats.counter("hits").value == 0
+        assert tlb.stats.counter("misses").value == 0
+
+    def test_lru_within_set(self):
+        tlb = make_tlb(entries=4, assoc=2)  # 2 sets
+        # VPNs 0, 2, 4 all map to set 0
+        tlb.insert(0, 10)
+        tlb.insert(2, 12)
+        tlb.lookup(0)      # refresh 0 -> 2 becomes LRU
+        tlb.insert(4, 14)  # evicts 2
+        assert tlb.probe(0) and tlb.probe(4) and not tlb.probe(2)
+
+    def test_occupancy_bounded_by_capacity(self):
+        tlb = make_tlb(entries=8, assoc=2)
+        for vpn in range(100):
+            tlb.insert(vpn, vpn)
+        assert tlb.occupancy() <= 8
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=300))
+    def test_set_isolation_property(self, inserts):
+        """Entries never evict entries of other sets."""
+        tlb = make_tlb(entries=8, assoc=2)
+        for vpn in inserts:
+            tlb.insert(vpn, vpn)
+        for s, entry_set in enumerate(tlb._sets):
+            for vpn in entry_set:
+                assert vpn % tlb.config.sets == s
+            assert len(entry_set) <= tlb.config.associativity
+
+
+class TestShootdown:
+    def test_shootdown_removes_entry(self):
+        tlb = make_tlb()
+        tlb.insert(5, 1)
+        assert tlb.shootdown(5) is True
+        assert tlb.lookup(5) is None
+        assert tlb.stats.counter("shootdowns").value == 1
+
+    def test_shootdown_missing_entry(self):
+        assert make_tlb().shootdown(5) is False
+
+    def test_flush_empties_all_sets(self):
+        tlb = make_tlb()
+        for vpn in range(8):
+            tlb.insert(vpn, vpn)
+        tlb.flush()
+        assert tlb.occupancy() == 0
+
+    def test_hit_rate(self):
+        tlb = make_tlb()
+        tlb.insert(1, 1)
+        tlb.lookup(1)
+        tlb.lookup(2)
+        assert tlb.hit_rate() == 0.5

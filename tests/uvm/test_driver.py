@@ -1,0 +1,190 @@
+"""Integration-style unit tests for the UVM driver, driven by hand-built
+traces through a tiny 2-GPU system."""
+
+from dataclasses import replace
+
+from repro.config import InvalidationScheme, MigrationPolicy, baseline_config
+from repro.gpu.system import MultiGPUSystem
+from repro.memory import pte
+from repro.memory.physmem import PhysicalMemory
+from repro.workloads.base import Workload
+
+
+def tiny_config(**overrides):
+    config = replace(
+        baseline_config(num_gpus=2),
+        trace_lanes=1,
+        inflight_per_cu=4,
+    )
+    return replace(config, **overrides) if overrides else config
+
+
+def run_traces(config, gpu0_trace, gpu1_trace, name="manual"):
+    workload = Workload(name=name, traces=[[gpu0_trace], [gpu1_trace]])
+    system = MultiGPUSystem(config)
+    result = system.run(workload)
+    return system, result
+
+
+PAGE = 1 << 20  # an arbitrary VPN
+
+
+class TestFirstTouchFromCPU:
+    def test_first_access_migrates_page_in(self):
+        system, result = run_traces(tiny_config(), [(0, PAGE, False)], [])
+        assert result.first_touch_migrations == 1
+        assert result.far_faults == 1
+        word = system.gpus[0].page_table.translate(PAGE)
+        assert word is not None
+        assert PhysicalMemory.owner_of(pte.ppn(word)) == 0
+
+    def test_repeat_access_faults_once(self):
+        trace = [(0, PAGE, False)] * 10
+        _system, result = run_traces(tiny_config(), trace, [])
+        assert result.far_faults == 1
+        assert result.local_accesses == 10
+
+    def test_host_page_table_records_mapping(self):
+        system, _ = run_traces(tiny_config(), [(0, PAGE, False)], [])
+        host_word = system.driver.host_page_table.translate(PAGE)
+        assert host_word is not None
+        assert PhysicalMemory.owner_of(pte.ppn(host_word)) == 0
+
+
+class TestRemoteMapping:
+    def test_second_gpu_gets_remote_mapping(self):
+        # GPU1's accesses are few enough to stay under the threshold.
+        system, result = run_traces(
+            tiny_config(),
+            [(0, PAGE, False)] * 4,
+            [(2000, PAGE, False)],  # delayed: GPU0 owns the page by then
+        )
+        assert result.migrations == 0
+        word = system.gpus[1].page_table.translate(PAGE)
+        assert word is not None and pte.is_remote(word)
+        assert result.remote_accesses >= 1
+
+    def test_remote_data_travels_nvlink(self):
+        _system, result = run_traces(
+            tiny_config(), [(0, PAGE, False)], [(2000, PAGE, False)]
+        )
+        assert result.nvlink_bytes > 0
+
+
+class TestCounterMigration:
+    def test_threshold_triggers_migration(self):
+        threshold = tiny_config().uvm.effective_threshold
+        remote = [(2000 + 500 * i, PAGE, False) for i in range(threshold + 6)]
+        system, result = run_traces(tiny_config(), [(0, PAGE, False)], remote)
+        assert result.migrations == 1
+        host_word = system.driver.host_page_table.translate(PAGE)
+        assert PhysicalMemory.owner_of(pte.ppn(host_word)) == 1
+
+    def test_migration_invalidates_old_owner(self):
+        threshold = tiny_config().uvm.effective_threshold
+        remote = [(2000 + 500 * i, PAGE, False) for i in range(threshold + 6)]
+        system, result = run_traces(tiny_config(), [(0, PAGE, False)], remote)
+        assert result.invalidations_sent > 0
+        assert system.gpus[0].page_table.translate(PAGE) is None
+
+    def test_migration_waiting_recorded(self):
+        threshold = tiny_config().uvm.effective_threshold
+        remote = [(2000 + 500 * i, PAGE, False) for i in range(threshold + 6)]
+        system, _result = run_traces(tiny_config(), [(0, PAGE, False)], remote)
+        waiting = system.driver.stats.latency("migration_waiting")
+        assert waiting.count == 1
+        assert waiting.mean > 0
+
+
+class TestPolicies:
+    def test_first_touch_pins_page(self):
+        config = tiny_config(migration_policy=MigrationPolicy.FIRST_TOUCH)
+        remote = [(2000 + 500 * i, PAGE, False) for i in range(20)]
+        system, result = run_traces(config, [(0, PAGE, False)], remote)
+        assert result.migrations == 0
+        host_word = system.driver.host_page_table.translate(PAGE)
+        assert PhysicalMemory.owner_of(pte.ppn(host_word)) == 0
+
+    def test_on_touch_migrates_on_fault(self):
+        config = tiny_config(migration_policy=MigrationPolicy.ON_TOUCH)
+        system, result = run_traces(
+            config, [(0, PAGE, False)], [(4000, PAGE, False)]
+        )
+        assert result.migrations == 1
+        host_word = system.driver.host_page_table.translate(PAGE)
+        assert PhysicalMemory.owner_of(pte.ppn(host_word)) == 1
+
+
+class TestInvalidationSchemes:
+    def _migration_traces(self, config):
+        threshold = config.uvm.effective_threshold
+        remote = [(2000 + 500 * i, PAGE, False) for i in range(threshold + 6)]
+        return [(0, PAGE, False)] * 3, remote
+
+    def test_broadcast_reaches_every_gpu(self):
+        config = tiny_config()
+        t0, t1 = self._migration_traces(config)
+        _system, result = run_traces(config, t0, t1)
+        assert result.invalidations_sent == config.num_gpus * result.migrations
+
+    def test_directory_filters_to_holders(self):
+        config = tiny_config(invalidation_scheme=InvalidationScheme.DIRECTORY)
+        t0, t1 = self._migration_traces(config)
+        _system, result = run_traces(config, t0, t1)
+        # Both GPUs held mappings here, but never more than the holders.
+        assert 0 < result.invalidations_sent <= config.num_gpus * result.migrations
+
+    def test_zero_latency_sends_no_messages(self):
+        config = tiny_config(invalidation_scheme=InvalidationScheme.ZERO_LATENCY)
+        t0, t1 = self._migration_traces(config)
+        system, result = run_traces(config, t0, t1)
+        assert result.migrations == 1
+        assert result.invalidations_sent == 0
+        assert system.gpus[0].page_table.translate(PAGE) is None
+
+    def test_idyll_buffers_then_cancels_or_walks(self):
+        config = tiny_config(invalidation_scheme=InvalidationScheme.IDYLL)
+        t0, t1 = self._migration_traces(config)
+        system, result = run_traces(config, t0, t1)
+        assert result.migrations == 1
+        accepted = sum(
+            g.lazy.stats.counter("accepted").value for g in system.gpus if g.lazy
+        )
+        assert accepted >= 1
+
+
+class TestReplication:
+    def test_read_sharing_creates_replica(self):
+        config = tiny_config(page_replication=True)
+        system, result = run_traces(
+            config, [(0, PAGE, False)] * 3, [(3000, PAGE, False)] * 3
+        )
+        assert result.replications == 1
+        word = system.gpus[1].page_table.translate(PAGE)
+        assert word is not None
+        assert PhysicalMemory.owner_of(pte.ppn(word)) == 1  # local replica
+
+    def test_write_collapses_replicas(self):
+        config = tiny_config(page_replication=True)
+        trace0 = [(0, PAGE, False)] * 3 + [(9000, PAGE, True)]
+        trace1 = [(3000, PAGE, False)] * 3
+        system, result = run_traces(config, trace0, trace1)
+        assert result.replications >= 1
+        assert result.replica_collapses >= 1
+        assert not system.driver.replicas.is_replicated(PAGE)
+
+    def test_no_migrations_under_replication(self):
+        config = tiny_config(page_replication=True)
+        remote = [(2000 + 400 * i, PAGE, False) for i in range(20)]
+        _system, result = run_traces(config, [(0, PAGE, False)], remote)
+        assert result.migrations == 0
+
+
+class TestFaultBatching:
+    def test_many_concurrent_faults_batch(self):
+        pages = [PAGE + 512 * i for i in range(24)]
+        trace = [(0, vpn, False) for vpn in pages]
+        system, result = run_traces(tiny_config(), trace, [])
+        assert result.far_faults == 24
+        batches = system.driver.stats.counter("fault_batches").value
+        assert 1 <= batches < 24  # coalescing happened

@@ -1,0 +1,60 @@
+"""Unit tests for access counters and policy decisions."""
+
+from repro.config import MigrationPolicy, UVMConfig
+from repro.uvm.migration import AccessCounters, should_migrate_on_fault
+
+
+def make_counters(threshold=256, divisor=64):
+    return AccessCounters(
+        UVMConfig(access_counter_threshold=threshold, threshold_divisor=divisor)
+    )
+
+
+class TestAccessCounters:
+    def test_threshold_fires_exactly_once(self):
+        counters = make_counters(threshold=256, divisor=64)  # effective 4
+        hits = [counters.note_remote_access(1, 0) for _ in range(10)]
+        assert hits == [False, False, False, True] + [False] * 6
+
+    def test_counters_are_per_gpu(self):
+        counters = make_counters(threshold=256, divisor=128)  # effective 2
+        assert not counters.note_remote_access(1, gpu_id=0)
+        assert not counters.note_remote_access(1, gpu_id=1)
+        assert counters.note_remote_access(1, gpu_id=0)
+        assert counters.count(1, 0) == 2
+        assert counters.count(1, 1) == 1
+
+    def test_reset_page_clears_all_gpus(self):
+        counters = make_counters(threshold=256, divisor=128)
+        counters.note_remote_access(1, 0)
+        counters.note_remote_access(1, 1)
+        counters.reset_page(1)
+        assert counters.count(1, 0) == 0
+        assert counters.count(1, 1) == 0
+        # Threshold can fire again after the reset.
+        counters.note_remote_access(1, 0)
+        assert counters.note_remote_access(1, 0)
+
+    def test_effective_threshold_floor_is_one(self):
+        counters = make_counters(threshold=1, divisor=1000)
+        assert counters.note_remote_access(1, 0)  # fires immediately
+
+    def test_paper_threshold_ratio_preserved(self):
+        """Fig. 20: 256 vs 512 must stay a 1:2 effective ratio."""
+        t256 = make_counters(256, 128).threshold
+        t512 = make_counters(512, 128).threshold
+        assert t512 == 2 * t256
+
+
+class TestPolicyDecision:
+    def test_on_touch_migrates_on_remote_fault(self):
+        assert should_migrate_on_fault(MigrationPolicy.ON_TOUCH, True)
+
+    def test_on_touch_local_fault_no_migration(self):
+        assert not should_migrate_on_fault(MigrationPolicy.ON_TOUCH, False)
+
+    def test_counter_policy_never_migrates_on_fault(self):
+        assert not should_migrate_on_fault(MigrationPolicy.ACCESS_COUNTER, True)
+
+    def test_first_touch_never_migrates_on_fault(self):
+        assert not should_migrate_on_fault(MigrationPolicy.FIRST_TOUCH, True)

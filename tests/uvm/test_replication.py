@@ -1,0 +1,41 @@
+"""Unit tests for the replica directory (§7.4)."""
+
+from repro.uvm.replication import ReplicaDirectory
+
+
+class TestReplicaDirectory:
+    def test_add_and_query(self):
+        replicas = ReplicaDirectory()
+        replicas.add_replica(1, gpu_id=2, ppn=0x99)
+        assert replicas.has_replica(1, 2)
+        assert replicas.replica_ppn(1, 2) == 0x99
+        assert replicas.holders(1) == [2]
+        assert replicas.is_replicated(1)
+
+    def test_unreplicated_page(self):
+        replicas = ReplicaDirectory()
+        assert not replicas.is_replicated(5)
+        assert replicas.holders(5) == []
+        assert not replicas.has_replica(5, 0)
+
+    def test_collapse_returns_and_clears(self):
+        replicas = ReplicaDirectory()
+        replicas.add_replica(1, 0, 10)
+        replicas.add_replica(1, 3, 13)
+        collapsed = replicas.collapse(1)
+        assert collapsed == {0: 10, 3: 13}
+        assert not replicas.is_replicated(1)
+        assert replicas.stats.counter("collapses").value == 1
+        assert replicas.stats.counter("replicas_destroyed").value == 2
+
+    def test_collapse_empty_is_noop(self):
+        replicas = ReplicaDirectory()
+        assert replicas.collapse(1) == {}
+        assert replicas.stats.counter("collapses").value == 0
+
+    def test_pages_are_independent(self):
+        replicas = ReplicaDirectory()
+        replicas.add_replica(1, 0, 10)
+        replicas.add_replica(2, 1, 21)
+        replicas.collapse(1)
+        assert replicas.is_replicated(2)

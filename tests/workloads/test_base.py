@@ -1,0 +1,73 @@
+"""Unit tests for workload representation and trace analysis."""
+
+import pytest
+
+from repro.workloads.base import Workload, partition_pages
+
+
+def make_workload():
+    return Workload(
+        name="t",
+        traces=[
+            [[(0, 1, False), (5, 2, True)]],       # GPU0: pages 1, 2
+            [[(0, 2, False), (3, 3, False)]],      # GPU1: pages 2, 3
+        ],
+    )
+
+
+class TestAnalyses:
+    def test_totals(self):
+        w = make_workload()
+        assert w.num_gpus == 2
+        assert w.total_accesses() == 4
+        assert w.total_instructions() == 4 + 5 + 3
+        assert w.footprint_pages() == 3
+        assert w.footprint_bytes() == 3 * 4096
+
+    def test_write_fraction(self):
+        assert make_workload().write_fraction() == 0.25
+
+    def test_page_sharers(self):
+        sharers = make_workload().page_sharers()
+        assert sharers[1] == {0}
+        assert sharers[2] == {0, 1}
+        assert sharers[3] == {1}
+
+    def test_sharing_distribution(self):
+        dist = make_workload().sharing_distribution()
+        # Pages 1 and 3: one access each, one sharer; page 2: two accesses.
+        assert dist[1] == 0.5
+        assert dist[2] == 0.5
+        assert abs(sum(dist.values()) - 1.0) < 1e-12
+
+    def test_shared_access_fraction(self):
+        assert make_workload().shared_access_fraction() == 0.5
+
+    def test_empty_workload(self):
+        w = Workload(name="empty", traces=[[[]], [[]]])
+        assert w.sharing_distribution() == {}
+        assert w.write_fraction() == 0.0
+
+
+class TestPartitioning:
+    def test_even_partition(self):
+        parts = partition_pages(100, 8, 4)
+        assert [list(p) for p in parts] == [
+            [100, 101],
+            [102, 103],
+            [104, 105],
+            [106, 107],
+        ]
+
+    def test_remainder_goes_to_last(self):
+        parts = partition_pages(0, 10, 3)
+        assert len(parts[0]) == 3
+        assert len(parts[2]) == 4
+
+    def test_too_few_pages_rejected(self):
+        with pytest.raises(ValueError):
+            partition_pages(0, 2, 4)
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ValueError):
+            partition_pages(0, 8, 0)

@@ -1,0 +1,60 @@
+"""Unit tests for the DNN workload generators (§7.6)."""
+
+import pytest
+
+from repro.workloads.dnn import (
+    DNN_MODELS,
+    RESNET18_LAYERS,
+    VGG16_LAYERS,
+    LayerSpec,
+    build_dnn_workload,
+)
+
+
+class TestArchitectures:
+    def test_vgg16_has_16_layers(self):
+        # 13 conv + 3 fc
+        assert len(VGG16_LAYERS) == 16
+
+    def test_resnet18_layer_count(self):
+        # conv1 + 8 basic blocks x 2 convs + fc
+        assert len(RESNET18_LAYERS) == 18
+
+    def test_tiny_imagenet_head(self):
+        assert VGG16_LAYERS[-1].out_c == 200
+        assert RESNET18_LAYERS[-1].out_c == 200
+
+    def test_layer_page_math(self):
+        layer = LayerSpec("conv", 56, 56, 256, 3, 128)
+        # batch 4, fp16, shrink 1: 4*56*56*256*2 bytes / 4096
+        assert layer.activation_pages(batch=4, shrink=1) == 4 * 56 * 56 * 256 * 2 // 4096
+        assert layer.weight_pages(shrink=1) == 3 * 3 * 128 * 256 * 2 // 4096
+
+    def test_shrink_never_zero_pages(self):
+        layer = LayerSpec("small", 1, 1, 8, 1, 8)
+        assert layer.activation_pages(batch=1, shrink=10**9) == 1
+        assert layer.weight_pages(shrink=10**9) == 1
+
+
+class TestTraceGeneration:
+    @pytest.mark.parametrize("model", sorted(DNN_MODELS))
+    def test_builds_for_both_models(self, model):
+        w = build_dnn_workload(model, num_gpus=4, lanes=2, accesses_per_lane=200)
+        assert w.num_gpus == 4
+        assert w.total_accesses() > 0
+        assert all(len(t) <= 200 for gpu in w.traces for t in gpu)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            build_dnn_workload("AlexNet")
+
+    def test_boundary_activations_are_shared(self):
+        """Layer-parallel training shares boundary activations between
+        adjacent GPUs — the migration traffic §7.6 relies on."""
+        w = build_dnn_workload("VGG16", num_gpus=4, lanes=2, accesses_per_lane=400)
+        assert w.shared_access_fraction() > 0.05
+
+    def test_deterministic(self):
+        a = build_dnn_workload("ResNet18", num_gpus=2, lanes=2, accesses_per_lane=100, seed=5)
+        b = build_dnn_workload("ResNet18", num_gpus=2, lanes=2, accesses_per_lane=100, seed=5)
+        assert a.traces == b.traces

@@ -1,0 +1,76 @@
+"""Unit tests for trace serialisation."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads.base import Workload
+from repro.workloads.io import load_workload, save_workload
+from repro.workloads.suite import build_workload
+
+
+class TestRoundTrip:
+    def test_generated_workload_roundtrips(self, tmp_path):
+        original = build_workload("KM", num_gpus=2, lanes=2, accesses_per_lane=100)
+        path = tmp_path / "km.json"
+        save_workload(original, path)
+        loaded = load_workload(path)
+        assert loaded.name == original.name
+        assert loaded.page_size == original.page_size
+        assert loaded.traces == original.traces
+        assert loaded.params == original.params
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(0, 100), st.integers(0, 2**36), st.booleans()
+                ),
+                max_size=10,
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_arbitrary_traces_roundtrip(self, gpu_lanes):
+        import tempfile
+        from pathlib import Path
+
+        original = Workload(name="x", traces=[gpu_lanes])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "w.json"
+            save_workload(original, path)
+            assert load_workload(path).traces == original.traces
+
+    def test_bad_format_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99}))
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_corrupt_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "format": 1, "name": "x", "page_size": 4096, "params": {},
+            "gpus": [[{"gaps": [1, 2], "vpns": [3], "writes": [0, 1]}]],
+        }))
+        with pytest.raises(ValueError):
+            load_workload(path)
+
+    def test_loaded_workload_simulates(self, tmp_path):
+        """A deserialised workload must be directly runnable."""
+        from dataclasses import replace
+
+        from repro.config import baseline_config
+        from repro.gpu.system import MultiGPUSystem
+
+        original = build_workload("SC", num_gpus=2, lanes=2, accesses_per_lane=80)
+        path = tmp_path / "sc.json"
+        save_workload(original, path)
+        loaded = load_workload(path)
+        config = replace(baseline_config(2), trace_lanes=2, inflight_per_cu=4)
+        a = MultiGPUSystem(config).run(original)
+        b = MultiGPUSystem(config).run(loaded)
+        assert a.exec_time == b.exec_time
