@@ -14,6 +14,10 @@ Commands
     optionally export to CSV/JSON.
 ``trace APP``
     Generate a workload and save its trace to a JSON file.
+``golden``
+    Check or regenerate the golden event-trace fixtures
+    (``tests/golden/*.jsonl``) that pin the translation pipeline's
+    event-level behaviour.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import asdict
+from pathlib import Path
 from typing import List, Optional
 
 from . import experiments
@@ -88,6 +93,23 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[p.value for p in MigrationPolicy],
         default=MigrationPolicy.ACCESS_COUNTER.value,
     )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record the full event trace and write it to PATH",
+    )
+    run.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="jsonl (canonical) or chrome (open in chrome://tracing)",
+    )
+    run.add_argument(
+        "--trace-limit",
+        type=int,
+        default=1_000_000,
+        help="ring-buffer capacity in records (oldest dropped beyond this)",
+    )
     add_sim_args(run)
 
     compare = sub.add_parser("compare", help="all invalidation schemes on one app")
@@ -105,6 +127,22 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("app")
     trace.add_argument("output", help="output JSON path")
     add_sim_args(trace)
+
+    golden = sub.add_parser("golden", help="golden event-trace fixtures")
+    action = golden.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--update", action="store_true", help="regenerate all fixtures"
+    )
+    action.add_argument(
+        "--check", action="store_true", help="verify fixtures match current behaviour"
+    )
+    action.add_argument("--list", action="store_true", help="list scenarios")
+    golden.add_argument(
+        "--dir",
+        dest="golden_dir",
+        default=None,
+        help="fixture directory (default: <repo>/tests/golden)",
+    )
 
     return parser
 
@@ -135,7 +173,21 @@ def _cmd_run(args) -> int:
     runner = _runner_for(args)
     config = baseline_config(args.gpus).with_scheme(InvalidationScheme(args.scheme))
     config = config.with_policy(MigrationPolicy(args.policy))
-    result = runner.run(args.app, config)
+    if args.trace:
+        from .metrics.trace_export import trace_to_chrome, trace_to_jsonl
+        from .sim.trace import TraceRecorder
+
+        tracer = TraceRecorder(capacity=args.trace_limit)
+        workload = runner.workload(args.app, num_gpus=args.gpus)
+        result = MultiGPUSystem(config, seed=runner.seed, tracer=tracer).run(workload)
+        export = trace_to_chrome if args.trace_format == "chrome" else trace_to_jsonl
+        count = export(tracer, args.trace)
+        print(
+            f"wrote {args.trace}: {count:,} {args.trace_format} trace records"
+            + (f" ({tracer.dropped:,} dropped)" if tracer.dropped else "")
+        )
+    else:
+        result = runner.run(args.app, config)
     print(f"{args.app} on {args.gpus} GPUs, scheme={args.scheme}, policy={args.policy}")
     skip = {"extras", "workload", "scheme", "num_gpus"}
     for key, value in asdict(result).items():
@@ -185,6 +237,55 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _default_golden_dir() -> Path:
+    """``tests/golden`` of the source checkout this package runs from."""
+    return Path(__file__).resolve().parents[2] / "tests" / "golden"
+
+
+def _cmd_golden(args) -> int:
+    from .experiments.scenarios import SCENARIOS, scenario_lines
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(name)
+        return 0
+
+    golden_dir = Path(args.golden_dir) if args.golden_dir else _default_golden_dir()
+    if args.update:
+        golden_dir.mkdir(parents=True, exist_ok=True)
+        for name in sorted(SCENARIOS):
+            lines = scenario_lines(name)
+            path = golden_dir / f"{name}.jsonl"
+            path.write_text("\n".join(lines) + "\n")
+            print(f"wrote {path} ({len(lines)} records)")
+        return 0
+
+    # --check
+    failures = 0
+    for name in sorted(SCENARIOS):
+        path = golden_dir / f"{name}.jsonl"
+        if not path.exists():
+            print(f"MISSING {path} (run `python -m repro golden --update`)")
+            failures += 1
+            continue
+        expected = path.read_text().splitlines()
+        actual = scenario_lines(name)
+        if actual == expected:
+            print(f"ok      {name} ({len(actual)} records)")
+            continue
+        failures += 1
+        print(f"DRIFT   {name}: {len(actual)} records vs {len(expected)} golden")
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            if a != e:
+                print(f"  first diff at record {i}:\n    golden : {e}\n    actual : {a}")
+                break
+        else:
+            i = min(len(actual), len(expected))
+            extra = actual[i] if len(actual) > len(expected) else expected[i]
+            print(f"  length differs from record {i}: {extra}")
+    return 1 if failures else 0
+
+
 def _cmd_trace(args) -> int:
     runner = _runner_for(args)
     workload = runner.workload(args.app, num_gpus=args.gpus)
@@ -209,6 +310,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "golden":
+        return _cmd_golden(args)
     return 2
 
 

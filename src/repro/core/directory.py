@@ -18,6 +18,7 @@ from typing import List
 from ..memory import pte as pte_bits
 from ..memory.page_table import PageTable
 from ..sim.stats import StatsGroup
+from ..sim.trace import NULL_TRACER
 
 __all__ = ["InPTEDirectory"]
 
@@ -25,7 +26,13 @@ __all__ = ["InPTEDirectory"]
 class InPTEDirectory:
     """Residency directory stored in the host page table's unused bits."""
 
-    def __init__(self, host_page_table: PageTable, num_gpus: int, num_bits: int = 11) -> None:
+    def __init__(
+        self,
+        host_page_table: PageTable,
+        num_gpus: int,
+        num_bits: int = 11,
+        tracer=NULL_TRACER,
+    ) -> None:
         if not 1 <= num_bits <= pte_bits.DIRECTORY_BITS_MAX:
             raise ValueError(
                 f"directory bits must be in 1..{pte_bits.DIRECTORY_BITS_MAX}"
@@ -33,7 +40,9 @@ class InPTEDirectory:
         self.host_page_table = host_page_table
         self.num_gpus = num_gpus
         self.num_bits = num_bits
-        self.stats = StatsGroup("in_pte_directory")
+        self.name = "in_pte_directory"
+        self.stats = StatsGroup(self.name)
+        self._tracer = tracer
 
     #: in-PTE lookups ride the host page-table walk: no extra latency (§6.2).
     lookup_latency = 0
@@ -47,6 +56,8 @@ class InPTEDirectory:
             vpn, pte_bits.set_directory_bit(word, gpu_id, self.num_bits)
         )
         self.stats.counter("bits_set").add()
+        if self._tracer.enabled:
+            self._tracer.emit("dir.set", self.name, vpn, gpu=gpu_id)
 
     def holders(self, vpn: int) -> List[int]:
         """GPUs whose access bit is set (includes hash false positives)."""
@@ -56,6 +67,8 @@ class InPTEDirectory:
         bits = pte_bits.directory_bits(word, self.num_bits)
         result = [g for g in range(self.num_gpus) if bits & (1 << (g % self.num_bits))]
         self.stats.counter("lookups").add()
+        if self._tracer.enabled:
+            self._tracer.emit("dir.lookup", self.name, vpn, holders=result)
         return result
 
     def clear(self, vpn: int) -> None:
@@ -65,3 +78,5 @@ class InPTEDirectory:
             return
         self.host_page_table.set_entry(vpn, pte_bits.clear_directory_bits(word, self.num_bits))
         self.stats.counter("clears").add()
+        if self._tracer.enabled:
+            self._tracer.emit("dir.clear", self.name, vpn)

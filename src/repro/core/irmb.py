@@ -27,6 +27,7 @@ from typing import List, Optional, Set, Tuple
 from ..config import IRMBConfig
 from ..memory.address import AddressLayout
 from ..sim.stats import StatsGroup
+from ..sim.trace import NULL_TRACER
 
 __all__ = ["IRMB"]
 
@@ -34,10 +35,18 @@ __all__ = ["IRMB"]
 class IRMB:
     """One GPU's invalidation request merging buffer."""
 
-    def __init__(self, config: IRMBConfig, layout: AddressLayout, name: str = "irmb") -> None:
+    def __init__(
+        self,
+        config: IRMBConfig,
+        layout: AddressLayout,
+        name: str = "irmb",
+        tracer=NULL_TRACER,
+    ) -> None:
         self.config = config
         self.layout = layout
+        self.name = name
         self.stats = StatsGroup(name)
+        self._tracer = tracer
         #: base → set of offsets, in LRU order (least-recent first).
         self._entries: "OrderedDict[int, Set[int]]" = OrderedDict()
 
@@ -84,14 +93,22 @@ class IRMB:
             self._entries.move_to_end(base)
             if offset in entry:
                 self.stats.counter("duplicate_inserts").add()
+                if self._tracer.enabled:
+                    self._tracer.emit("irmb.insert", self.name, vpn, kind="duplicate")
                 return evicted
             if len(entry) >= self.config.offsets_per_base:
                 # Offset slots full: flush this entry's offsets, keep the base.
                 evicted = [self._vpn(base, o) for o in sorted(entry)]
                 entry.clear()
                 self.stats.counter("offset_evictions").add()
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "irmb.evict", self.name, kind="offset", base=base, count=len(evicted)
+                    )
             entry.add(offset)
             self.stats.counter("merged_inserts").add()
+            if self._tracer.enabled:
+                self._tracer.emit("irmb.insert", self.name, vpn, kind="merge", base=base)
             return evicted
 
         if len(self._entries) >= self.config.bases:
@@ -99,8 +116,14 @@ class IRMB:
             lru_base, lru_offsets = self._entries.popitem(last=False)
             evicted = [self._vpn(lru_base, o) for o in sorted(lru_offsets)]
             self.stats.counter("base_evictions").add()
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "irmb.evict", self.name, kind="base", base=lru_base, count=len(evicted)
+                )
         self._entries[base] = {offset}
         self.stats.counter("new_entry_inserts").add()
+        if self._tracer.enabled:
+            self._tracer.emit("irmb.insert", self.name, vpn, kind="new", base=base)
         return evicted
 
     # -- lookup (parallel with the L2 TLB, §6.3 "B") ------------------------
@@ -127,6 +150,8 @@ class IRMB:
         if not entry:
             del self._entries[base]
         self.stats.counter("removed_by_new_mapping").add()
+        if self._tracer.enabled:
+            self._tracer.emit("irmb.remove", self.name, vpn)
         return True
 
     # -- lazy writeback (walker idle, §6.3) ----------------------------------
@@ -138,4 +163,6 @@ class IRMB:
             return None
         base, offsets = self._entries.popitem(last=False)
         self.stats.counter("idle_writebacks").add()
+        if self._tracer.enabled:
+            self._tracer.emit("irmb.writeback", self.name, base=base, count=len(offsets))
         return [self._vpn(base, o) for o in sorted(offsets)]

@@ -45,7 +45,9 @@ class LazyInvalidationController:
         self.engine = engine
         self.irmb = irmb
         self.gmmu = gmmu
+        self.name = name
         self.stats = StatsGroup(name)
+        self._tracer = engine.tracer
         self._nonempty_waiter: Optional[Event] = None
         self._stopped = False
         #: VPNs evicted from the IRMB but whose walk has not started yet.
@@ -61,6 +63,8 @@ class LazyInvalidationController:
 
     def accept_invalidation(self, vpn: int) -> None:
         """Buffer an invalidation; never blocks the requester."""
+        if self._tracer.enabled:
+            self._tracer.emit("lazy.accept", self.name, vpn)
         evicted = self.irmb.insert(vpn)
         self.stats.counter("accepted").add()
         if evicted:
@@ -79,13 +83,19 @@ class LazyInvalidationController:
         removed = self.irmb.remove(vpn)
         if removed:
             self.stats.counter("cancelled_by_mapping").add()
+            if self._tracer.enabled:
+                self._tracer.emit("lazy.cancel", self.name, vpn, where="irmb")
         if vpn in self._queued_for_walk:
             self._cancelled.add(vpn)
             self.stats.counter("cancelled_queued").add()
+            if self._tracer.enabled:
+                self._tracer.emit("lazy.cancel", self.name, vpn, where="queued")
         pending = self._inflight_walks.get(vpn)
         if pending is not None:
             pending.aborted = True
             self.stats.counter("aborted_inflight").add()
+            if self._tracer.enabled:
+                self._tracer.emit("lazy.cancel", self.name, vpn, where="inflight")
         return removed
 
     # -- demand-miss probe ------------------------------------------------------
@@ -94,7 +104,10 @@ class LazyInvalidationController:
         """IRMB lookup in parallel with the L2 TLB: a hit means the local
         PTE is stale, so the demand miss must bypass the local walk and
         fault to the host directly."""
-        return self.irmb.lookup(vpn)
+        hit = self.irmb.lookup(vpn)
+        if self._tracer.enabled:
+            self._tracer.emit("irmb.probe", self.name, vpn, hit=hit)
+        return hit
 
     # -- propagation -----------------------------------------------------------
 
@@ -128,6 +141,8 @@ class LazyInvalidationController:
         batch: List[int] = list(vpns)
         self.stats.counter("propagated_vpns").add(len(batch))
         self.stats.counter("propagated_batches").add()
+        if self._tracer.enabled:
+            self._tracer.emit("lazy.propagate", self.name, count=len(batch), paced=paced)
         t0 = self.engine.now
         if paced:
             for vpn in batch:

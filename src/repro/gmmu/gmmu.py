@@ -37,7 +37,9 @@ class GMMU:
         self.engine = engine
         self.config = config
         self.page_table = page_table
+        self.name = name
         self.stats = StatsGroup(name)
+        self._tracer = engine.tracer
         self.pwc = PageWalkCache(config.walk_cache_entries, page_table.layout, f"{name}.pwc")
         self.queue: Store = Store(engine, capacity=config.walk_queue_entries)
         self.walkers = Resource(engine, config.walker_threads)
@@ -109,6 +111,8 @@ class GMMU:
         if request.aborted:
             # Superseded while queued (a fresh mapping arrived): drop it.
             self.stats.counter("aborted_walks").add()
+            if self._tracer.enabled:
+                self._tracer.emit("walk.abort", self.name, request.vpn, kind=request.kind.value)
             self.walkers.release()
             self._account_done(request)
             request.done.succeed(None)
@@ -117,6 +121,11 @@ class GMMU:
 
         cached_level = self.pwc.deepest_cached_level(request.vpn)
         levels = self.page_table.walk_levels(request.vpn, cached_level)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "walk.start", self.name, request.vpn,
+                kind=request.kind.value, levels=levels, queue_wait=queue_wait,
+            )
         yield levels * self.config.walk_latency_per_level
         self.pwc.fill(request.vpn)
         self.stats.latency(f"walk_levels.{request.kind.value}").record(levels)
@@ -143,6 +152,11 @@ class GMMU:
         self.walkers.release()
         total = self.engine.now - request.issued_at
         self.stats.latency(f"total.{request.kind.value}").record(total)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "walk.done", self.name, request.vpn,
+                kind=request.kind.value, levels=levels, cycles=total,
+            )
         self._account_done(request)
         request.done.succeed(result)
         self._wake_idle_waiters()

@@ -61,24 +61,27 @@ class GPU:
         self.layout = layout
         self.interconnect = interconnect
         self.driver = driver
+        self.name = f"gpu{gpu_id}"
         self.stats = StatsGroup(f"gpu{gpu_id}")
+        self._tracer = engine.tracer
 
         self.page_table = PageTable(layout, f"gpu{gpu_id}.pt")
         self.memory = PhysicalMemory(gpu_id, DEVICE_MEMORY_BYTES, config.page_size)
         self.gmmu = GMMU(engine, config.gmmu, self.page_table, f"gpu{gpu_id}.gmmu")
         self.l1_tlbs: List[TLB] = [
-            TLB(config.l1_tlb, f"gpu{gpu_id}.l1tlb{i}") for i in range(config.trace_lanes)
+            TLB(config.l1_tlb, f"gpu{gpu_id}.l1tlb{i}", tracer=engine.tracer)
+            for i in range(config.trace_lanes)
         ]
         self.l1_mshrs: List[MSHR] = [
             MSHR(engine, f"gpu{gpu_id}.l1mshr{i}") for i in range(config.trace_lanes)
         ]
-        self.l2_tlb = TLB(config.l2_tlb, f"gpu{gpu_id}.l2tlb")
+        self.l2_tlb = TLB(config.l2_tlb, f"gpu{gpu_id}.l2tlb", tracer=engine.tracer)
         self.l2_mshr = MSHR(engine, f"gpu{gpu_id}.l2mshr")
 
         self.irmb: Optional[IRMB] = None
         self.lazy: Optional[LazyInvalidationController] = None
         if config.invalidation_scheme in _LAZY_SCHEMES:
-            self.irmb = IRMB(config.irmb, layout, f"gpu{gpu_id}.irmb")
+            self.irmb = IRMB(config.irmb, layout, f"gpu{gpu_id}.irmb", tracer=engine.tracer)
             self.lazy = LazyInvalidationController(
                 engine, self.irmb, self.gmmu, f"gpu{gpu_id}.lazy",
                 idle_writeback=config.lazy_idle_writeback,
@@ -177,6 +180,8 @@ class GPU:
             # IRMB hit: the local PTE is stale — bypass the local walk and
             # raise the far fault straight away (§6.3 scenario three).
             self.stats.counter("irmb_bypasses").add()
+            if self._tracer.enabled:
+                self._tracer.emit("irmb.bypass", self.name, vpn)
             word = yield from self._far_fault(vpn, is_write)
         else:
             request = self.gmmu.walk(vpn, WalkKind.DEMAND)

@@ -24,12 +24,17 @@ LARGE_PAGE_THRESHOLD = 2 * 1024 * 1024
 
 
 class MultiGPUSystem:
-    """A configured multi-GPU machine ready to replay workloads."""
+    """A configured multi-GPU machine ready to replay workloads.
 
-    def __init__(self, config: SystemConfig, seed: int = 7) -> None:
+    Pass ``tracer`` (a :class:`~repro.sim.trace.TraceRecorder`) to record
+    the full event trace of the run; tracing is off (and free) otherwise.
+    """
+
+    def __init__(self, config: SystemConfig, seed: int = 7, tracer=None) -> None:
         self.config = config
         self.seed = seed
-        self.engine = Engine()
+        self.engine = Engine(tracer=tracer)
+        self.tracer = self.engine.tracer
         levels = 3 if config.page_size >= LARGE_PAGE_THRESHOLD else 4
         self.layout = AddressLayout(config.page_size, levels=levels)
         self.interconnect = Interconnect(self.engine, config.interconnect, config.num_gpus)

@@ -3,6 +3,7 @@
 from .collector import SimulationResult, collect
 from .export import result_to_json, results_to_csv, series_to_csv, series_to_json
 from .report import format_series, format_table, geomean, mean
+from .trace_export import trace_lines, trace_to_chrome, trace_to_jsonl
 
 __all__ = [
     "SimulationResult",
@@ -15,4 +16,7 @@ __all__ = [
     "results_to_csv",
     "series_to_csv",
     "series_to_json",
+    "trace_lines",
+    "trace_to_chrome",
+    "trace_to_jsonl",
 ]

@@ -1,0 +1,80 @@
+"""Trace exporters: JSON-lines and Chrome ``trace_event`` format.
+
+The JSONL form is the canonical one — each line is
+:meth:`repro.sim.trace.TraceRecord.to_line`, so a saved file can be
+byte-compared against a golden fixture.  The Chrome form is for humans:
+open it in ``chrome://tracing`` (or https://ui.perfetto.dev) to see the
+translation pipeline on a timeline, one row per hardware unit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..sim.trace import TraceRecord, TraceRecorder
+
+__all__ = ["trace_lines", "trace_to_jsonl", "trace_to_chrome"]
+
+#: trace events rendered as Chrome *complete* ("X") slices: their
+#: ``cycles`` field is the duration ending at the record's cycle.
+_DURATION_EVENTS = {"walk.done", "fault.resolve", "mig.done"}
+
+
+def trace_lines(recorder: TraceRecorder) -> List[str]:
+    """Canonical JSONL lines of every buffered record."""
+    return list(recorder.lines())
+
+
+def trace_to_jsonl(recorder: TraceRecorder, path: Union[str, Path]) -> int:
+    """Write the canonical JSON-lines trace; returns the record count."""
+    lines = trace_lines(recorder)
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def _pid_for(unit: str) -> str:
+    """Group units by owner: ``gpu3.l2tlb`` → ``gpu3``; host-side
+    components (uvm driver, directory, counters) share a ``host`` row."""
+    head = unit.split(".", 1)[0]
+    return head if head.startswith("gpu") else "host"
+
+
+def _chrome_event(record: TraceRecord) -> Dict:
+    args: Dict = dict(record.fields)
+    if record.vpn is not None:
+        args["vpn"] = record.vpn
+    event: Dict = {
+        "name": record.event,
+        "cat": record.event.split(".", 1)[0],
+        "pid": _pid_for(record.unit),
+        "tid": record.unit,
+        "args": args,
+    }
+    duration = args.get("cycles")
+    if record.event in _DURATION_EVENTS and isinstance(duration, int) and duration > 0:
+        event["ph"] = "X"
+        event["ts"] = record.cycle - duration
+        event["dur"] = duration
+    else:
+        event["ph"] = "i"
+        event["ts"] = record.cycle
+        event["s"] = "t"
+    return event
+
+
+def trace_to_chrome(recorder: TraceRecorder, path: Union[str, Path]) -> int:
+    """Write a ``chrome://tracing`` JSON file; returns the event count.
+
+    Cycles are reported as microseconds (1 cycle = 1 us) so the viewer's
+    time axis reads directly in cycles.
+    """
+    events = [_chrome_event(r) for r in recorder.records()]
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"unit": "1 ts = 1 cycle", "dropped_records": recorder.dropped},
+    }
+    Path(path).write_text(json.dumps(doc, indent=1))
+    return len(events)

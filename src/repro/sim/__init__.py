@@ -4,6 +4,7 @@ from .engine import AllOf, Engine, Event, Interrupt, Process, SimulationError, T
 from .process import Gate, Resource, Store
 from .rng import derive_seed, stream
 from .stats import Counter, Histogram, LatencyStat, StatsGroup
+from .trace import NULL_TRACER, NullTracer, TraceRecord, TraceRecorder
 
 __all__ = [
     "AllOf",
@@ -22,4 +23,8 @@ __all__ = [
     "Histogram",
     "LatencyStat",
     "StatsGroup",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceRecord",
+    "TraceRecorder",
 ]

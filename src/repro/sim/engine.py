@@ -19,6 +19,8 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from .trace import NULL_TRACER
+
 __all__ = [
     "Engine",
     "Event",
@@ -45,13 +47,26 @@ class Interrupt(Exception):
 class Engine:
     """The event calendar and simulation clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, tracer=None) -> None:
         self._now = 0
         self._heap: List[tuple] = []
         #: zero-delay work for the current cycle (FIFO, avoids heap churn).
         self._ready: deque = deque()
         self._seq = 0
         self._running = False
+        #: event tracer shared by every component built on this engine;
+        #: NULL_TRACER (enabled == False) unless a recorder is attached.
+        self.tracer = NULL_TRACER
+        if tracer is not None:
+            self.attach_tracer(tracer)
+
+    def attach_tracer(self, tracer) -> None:
+        """Install a :class:`~repro.sim.trace.TraceRecorder` and bind it
+        to this engine's clock."""
+        self.tracer = tracer
+        bind = getattr(tracer, "bind", None)
+        if bind is not None:
+            bind(self)
 
     @property
     def now(self) -> int:

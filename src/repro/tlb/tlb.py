@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from ..config import TLBConfig
 from ..sim.stats import StatsGroup
+from ..sim.trace import NULL_TRACER
 
 __all__ = ["TLB"]
 
@@ -21,10 +22,11 @@ __all__ = ["TLB"]
 class TLB:
     """One TLB level: ``sets`` LRU sets of ``associativity`` ways."""
 
-    def __init__(self, config: TLBConfig, name: str = "tlb") -> None:
+    def __init__(self, config: TLBConfig, name: str = "tlb", tracer=NULL_TRACER) -> None:
         self.config = config
         self.name = name
         self.stats = StatsGroup(name)
+        self._tracer = tracer
         self._sets: List["OrderedDict[int, int]"] = [
             OrderedDict() for _ in range(config.sets)
         ]
@@ -42,9 +44,13 @@ class TLB:
         word = entry_set.get(vpn)
         if word is None:
             self.stats.counter("misses").add()
+            if self._tracer.enabled:
+                self._tracer.emit("tlb.miss", self.name, vpn)
             return None
         entry_set.move_to_end(vpn)
         self.stats.counter("hits").add()
+        if self._tracer.enabled:
+            self._tracer.emit("tlb.hit", self.name, vpn)
         return word
 
     def probe(self, vpn: int) -> bool:
@@ -62,9 +68,13 @@ class TLB:
             entry_set.move_to_end(vpn)
             return
         if len(entry_set) >= self.config.associativity:
-            entry_set.popitem(last=False)
+            victim, _ = entry_set.popitem(last=False)
             self.stats.counter("evictions").add()
+            if self._tracer.enabled:
+                self._tracer.emit("tlb.evict", self.name, victim)
         entry_set[vpn] = word
+        if self._tracer.enabled:
+            self._tracer.emit("tlb.fill", self.name, vpn)
 
     def shootdown(self, vpn: int) -> bool:
         """Invalidate one translation; True iff it was present."""
@@ -72,6 +82,8 @@ class TLB:
         if vpn in entry_set:
             del entry_set[vpn]
             self.stats.counter("shootdowns").add()
+            if self._tracer.enabled:
+                self._tracer.emit("tlb.shootdown", self.name, vpn)
             return True
         return False
 

@@ -61,12 +61,14 @@ class UVMDriver:
         self.config = config
         self.interconnect = interconnect
         self.layout = layout
+        self.name = "uvm"
         self.stats = StatsGroup("uvm")
+        self._tracer = engine.tracer
         # Host page tables are 5-level in the paper's Fig. 9.
         host_layout = AddressLayout(layout.page_size, levels=layout.levels + 1)
         self.host_page_table = PageTable(host_layout, "host_pt")
         self.directory = self._build_directory()
-        self.counters = AccessCounters(config.uvm)
+        self.counters = AccessCounters(config.uvm, tracer=engine.tracer)
         self.replicas = ReplicaDirectory()
         self.fault_queue: Store = Store(engine)
         self.host_walkers = Resource(engine, HOST_WALKER_THREADS)
@@ -89,7 +91,10 @@ class UVMDriver:
         if self.config.directory_kind is DirectoryKind.IN_MEMORY:
             return VMTableDirectory(self.config.num_gpus, self.config.vm_cache)
         return InPTEDirectory(
-            self.host_page_table, self.config.num_gpus, self.config.directory_bits
+            self.host_page_table,
+            self.config.num_gpus,
+            self.config.directory_bits,
+            tracer=self.engine.tracer,
         )
 
     def attach_gpus(self, gpus: List) -> None:
@@ -107,6 +112,8 @@ class UVMDriver:
         batching, resolution, and the reply; fires with the new PTE word."""
         fault = FarFault(gpu_id, vpn, is_write, self.engine.now, self.engine.event())
         self.stats.counter("far_faults").add()
+        if self._tracer.enabled:
+            self._tracer.emit("fault.raise", self.name, vpn, gpu=gpu_id, write=is_write)
         self.engine.process(self._deliver_fault(fault))
         return fault.resolved
 
@@ -132,6 +139,8 @@ class UVMDriver:
                 batch.append(fault)
             self.stats.counter("fault_batches").add()
             self.stats.histogram("batch_size").record(len(batch))
+            if self._tracer.enabled:
+                self._tracer.emit("fault.batch", self.name, count=len(batch))
             yield self._batch_slots.request()
             self.engine.process(self._service_batch(batch))
 
@@ -169,6 +178,11 @@ class UVMDriver:
             # stale; re-resolve rather than install it.
             self.stats.counter("stale_replies_retried").add()
         self.stats.latency("fault_latency").record(self.engine.now - fault.raised_at)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "fault.resolve", self.name, fault.vpn,
+                gpu=fault.gpu_id, cycles=self.engine.now - fault.raised_at,
+            )
         fault.resolved.succeed(word)
 
     def _resolve(self, fault: FarFault, allow_migrate: bool = True):
@@ -294,6 +308,8 @@ class UVMDriver:
         self._gates[vpn] = gate
         t_request = self.engine.now
         self.stats.counter("migrations").add()
+        if self._tracer.enabled:
+            self._tracer.emit("mig.start", self.name, vpn, src=src, dst=dst)
         scheme = self.config.invalidation_scheme
 
         host_walk = self.engine.process(self._host_invalidate_walk(vpn))
@@ -334,6 +350,11 @@ class UVMDriver:
             yield self.gpus[dst].deliver_mapping(vpn, pte_bits.make_pte(new_ppn))
 
         self.stats.latency("migration_total").record(self.engine.now - t_request)
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "mig.done", self.name, vpn,
+                src=src, dst=dst, waited=waiting, cycles=self.engine.now - t_request,
+            )
         self._generation[vpn] = self._generation.get(vpn, 0) + 1
         del self._gates[vpn]
         gate.open()
@@ -358,10 +379,14 @@ class UVMDriver:
     def _send_invalidation(self, gpu_id: int, vpn: int, dst: int):
         """Driver → GPU invalidation round trip (§3.3 steps 2-3)."""
         self.stats.counter("invalidations_sent").add()
+        if self._tracer.enabled:
+            self._tracer.emit("inval.send", self.name, vpn, gpu=gpu_id)
         yield self.interconnect.host_to_gpu(gpu_id, CONTROL_MESSAGE_BYTES)
         ack = self.gpus[gpu_id].receive_invalidation(vpn, dst)
         yield ack
         yield self.interconnect.gpu_to_host(gpu_id, CONTROL_MESSAGE_BYTES)
+        if self._tracer.enabled:
+            self._tracer.emit("inval.ack", self.name, vpn, gpu=gpu_id)
 
     # ------------------------------------------------------------------
     # Page replication (§7.4)

@@ -17,6 +17,7 @@ from typing import Dict
 
 from ..config import MigrationPolicy, UVMConfig
 from ..sim.stats import StatsGroup
+from ..sim.trace import NULL_TRACER
 
 __all__ = ["AccessCounters", "should_migrate_on_fault"]
 
@@ -24,9 +25,10 @@ __all__ = ["AccessCounters", "should_migrate_on_fault"]
 class AccessCounters:
     """Per-(page, GPU) remote-access counters with a migration threshold."""
 
-    def __init__(self, config: UVMConfig) -> None:
+    def __init__(self, config: UVMConfig, tracer=NULL_TRACER) -> None:
         self.threshold = config.effective_threshold
         self.stats = StatsGroup("access_counters")
+        self._tracer = tracer
         self._counts: Dict[int, Dict[int, int]] = {}
 
     def note_remote_access(self, vpn: int, gpu_id: int) -> bool:
@@ -37,6 +39,11 @@ class AccessCounters:
         self.stats.counter("increments").add()
         if per_gpu[gpu_id] == self.threshold:
             self.stats.counter("threshold_hits").add()
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "mig.decide", "access_counters", vpn,
+                    gpu=gpu_id, threshold=self.threshold,
+                )
             return True
         return False
 

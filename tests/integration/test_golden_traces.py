@@ -1,0 +1,91 @@
+"""Golden-trace regression harness.
+
+Each canonical scenario in :mod:`repro.experiments.scenarios` has its
+full event trace checked in under ``tests/golden/<name>.jsonl``.  Every
+test run replays the scenario and compares byte-for-byte, so any
+behavioural drift in the translation pipeline — an extra TLB miss, a
+reordered walk, a lost IRMB merge — fails here even when aggregate
+counters happen to stay the same.
+
+After an *intentional* behaviour change, regenerate with::
+
+    PYTHONPATH=src python -m repro golden --update
+
+and review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scenarios import SCENARIOS, scenario_lines
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+
+def _fixture(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.jsonl"
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_trace_matches_golden_fixture(name):
+    path = _fixture(name)
+    assert path.exists(), (
+        f"missing golden fixture {path}; regenerate with "
+        "`PYTHONPATH=src python -m repro golden --update`"
+    )
+    expected = path.read_text().splitlines()
+    actual = scenario_lines(name)
+    assert actual, f"scenario {name} produced an empty trace"
+    if actual != expected:
+        first = next(
+            (i for i, (a, e) in enumerate(zip(actual, expected)) if a != e),
+            min(len(actual), len(expected)),
+        )
+        pytest.fail(
+            f"golden trace drift in {name!r} at record {first}:\n"
+            f"  golden : {expected[first] if first < len(expected) else '<end>'}\n"
+            f"  actual : {actual[first] if first < len(actual) else '<end>'}\n"
+            f"({len(actual)} actual vs {len(expected)} golden records; if the "
+            "change is intentional, run `python -m repro golden --update`)"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_is_reproducible_across_runs(name):
+    """Two consecutive in-process runs must be byte-identical."""
+    assert scenario_lines(name) == scenario_lines(name)
+
+
+def test_fixtures_are_valid_jsonl():
+    for name in sorted(SCENARIOS):
+        for i, line in enumerate(_fixture(name).read_text().splitlines()):
+            record = json.loads(line)
+            assert record["seq"] == i, f"{name}: non-contiguous seq at line {i}"
+            assert {"cycle", "event", "unit"} <= record.keys()
+
+
+def test_scenarios_cover_the_headline_mechanisms():
+    """The three fixtures together must exercise the event classes the
+    paper's evaluation rests on (a coverage guard for the harness
+    itself — if a scenario stops triggering its mechanism, the golden
+    file would still "match" while guarding nothing)."""
+    events = set()
+    for name in SCENARIOS:
+        for line in _fixture(name).read_text().splitlines():
+            events.add(json.loads(line)["event"])
+    required = {
+        "tlb.miss", "tlb.hit", "tlb.fill", "tlb.shootdown",
+        "walk.start", "walk.done",
+        "fault.raise", "fault.batch", "fault.resolve",
+        "irmb.insert", "irmb.evict", "irmb.writeback", "irmb.probe",
+        "lazy.accept", "lazy.propagate",
+        "dir.set", "dir.lookup", "dir.clear",
+        "inval.send", "inval.ack",
+        "mig.decide", "mig.start", "mig.done",
+    }
+    missing = required - events
+    assert not missing, f"golden scenarios no longer cover: {sorted(missing)}"

@@ -1,0 +1,61 @@
+"""Trace exporter tests: JSONL round trip and Chrome trace_event shape."""
+
+from __future__ import annotations
+
+import json
+
+from repro.metrics.trace_export import trace_lines, trace_to_chrome, trace_to_jsonl
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+
+
+def _sample_recorder() -> TraceRecorder:
+    tracer = TraceRecorder()
+    engine = Engine(tracer=tracer)
+    engine.schedule(10, lambda: tracer.emit("tlb.miss", "gpu0.l1tlb0", 101))
+    engine.schedule(
+        410,
+        lambda: tracer.emit("walk.done", "gpu0.gmmu", 101, kind="demand", levels=4, cycles=400),
+    )
+    engine.schedule(500, lambda: tracer.emit("fault.batch", "uvm", count=3))
+    engine.run()
+    return tracer
+
+
+def test_jsonl_file_round_trips(tmp_path):
+    tracer = _sample_recorder()
+    path = tmp_path / "trace.jsonl"
+    count = trace_to_jsonl(tracer, path)
+    assert count == 3
+    text = path.read_text()
+    assert text.endswith("\n")
+    lines = text.splitlines()
+    assert lines == trace_lines(tracer)
+    parsed = [json.loads(line) for line in lines]
+    assert [p["event"] for p in parsed] == ["tlb.miss", "walk.done", "fault.batch"]
+
+
+def test_jsonl_empty_trace(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    assert trace_to_jsonl(TraceRecorder(), path) == 0
+    assert path.read_text() == ""
+
+
+def test_chrome_trace_shape(tmp_path):
+    tracer = _sample_recorder()
+    path = tmp_path / "trace.json"
+    count = trace_to_chrome(tracer, path)
+    assert count == 3
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+
+    miss, walk, batch = events
+    # Instant event at its cycle.
+    assert miss["ph"] == "i" and miss["ts"] == 10
+    assert miss["pid"] == "gpu0" and miss["tid"] == "gpu0.l1tlb0"
+    assert miss["args"]["vpn"] == 101
+    # walk.done carries a duration: rendered as a complete slice that
+    # *ends* at the record cycle.
+    assert walk["ph"] == "X" and walk["dur"] == 400 and walk["ts"] == 10
+    # Host-side components group under one pid.
+    assert batch["pid"] == "host" and batch["args"]["count"] == 3

@@ -1,0 +1,93 @@
+"""Unit tests for the trace recorder (ring buffer, record format)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.sim.engine import Engine
+from repro.sim.trace import NULL_TRACER, NullTracer, TraceRecord, TraceRecorder
+
+
+def test_record_line_is_canonical_json():
+    record = TraceRecord(3, 120, "walk.done", "gpu0.gmmu", 42,
+                         (("kind", "demand"), ("levels", 4), ("ok", True)))
+    line = record.to_line()
+    assert line == (
+        '{"seq":3,"cycle":120,"event":"walk.done","unit":"gpu0.gmmu",'
+        '"vpn":42,"kind":"demand","levels":4,"ok":true}'
+    )
+    # Valid JSON, and parses back to the same values.
+    parsed = json.loads(line)
+    assert parsed["vpn"] == 42 and parsed["ok"] is True
+
+
+def test_record_without_vpn_omits_field():
+    record = TraceRecord(0, 5, "fault.batch", "uvm", None, (("count", 7),))
+    assert json.loads(record.to_line()) == {
+        "seq": 0, "cycle": 5, "event": "fault.batch", "unit": "uvm", "count": 7,
+    }
+
+
+def test_record_list_field_renders_as_json_array():
+    record = TraceRecord(0, 1, "dir.lookup", "d", 9, (("holders", [0, 2]),))
+    assert json.loads(record.to_line())["holders"] == [0, 2]
+
+
+def test_recorder_stamps_engine_time():
+    engine = Engine()
+    tracer = TraceRecorder()
+    engine.attach_tracer(tracer)
+    assert engine.tracer is tracer
+
+    engine.schedule(10, lambda: tracer.emit("tick", "unit_a", 1))
+    engine.schedule(25, lambda: tracer.emit("tock", "unit_b"))
+    engine.run()
+    records = tracer.records()
+    assert [(r.cycle, r.event) for r in records] == [(10, "tick"), (25, "tock")]
+    assert [r.seq for r in records] == [0, 1]
+
+
+def test_ring_buffer_drops_oldest_beyond_capacity():
+    tracer = TraceRecorder(capacity=3)
+    for i in range(5):
+        tracer.emit("e", "u", i)
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert [r.vpn for r in tracer.records()] == [2, 3, 4]
+    # seq keeps counting globally even as old records fall out.
+    assert [r.seq for r in tracer.records()] == [2, 3, 4]
+
+
+def test_unbounded_recorder():
+    tracer = TraceRecorder(capacity=None)
+    for i in range(1000):
+        tracer.emit("e", "u", i)
+    assert len(tracer) == 1000 and tracer.dropped == 0
+
+
+def test_clear_resets_everything():
+    tracer = TraceRecorder()
+    tracer.emit("e", "u")
+    tracer.clear()
+    assert len(tracer) == 0
+    tracer.emit("e", "u")
+    assert tracer.records()[0].seq == 0
+
+
+def test_null_tracer_is_disabled_noop():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, NullTracer)
+    NULL_TRACER.emit("e", "u", 1, extra=2)  # must not raise
+    assert len(NULL_TRACER) == 0
+
+
+def test_engine_defaults_to_null_tracer():
+    assert Engine().tracer is NULL_TRACER
+
+
+def test_engine_constructor_binds_tracer():
+    tracer = TraceRecorder()
+    engine = Engine(tracer=tracer)
+    engine.schedule(7, lambda: tracer.emit("e", "u"))
+    engine.run()
+    assert tracer.records()[0].cycle == 7
