@@ -110,6 +110,25 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1_000_000,
         help="ring-buffer capacity in records (oldest dropped beyond this)",
     )
+    run.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help=(
+            "inject seeded interconnect/walker faults; SPEC is "
+            "'<preset>[,knob=value,...]' with presets light, moderate, "
+            "heavy (e.g. --faults heavy,drop=0.3,ack_timeout=2000)"
+        ),
+    )
+    run.add_argument(
+        "--audit",
+        metavar="CYCLES",
+        type=int,
+        default=None,
+        help=(
+            "run the translation-consistency auditors every CYCLES "
+            "cycles (and at quiesce) even without --faults"
+        ),
+    )
     add_sim_args(run)
 
     compare = sub.add_parser("compare", help="all invalidation schemes on one app")
@@ -173,19 +192,41 @@ def _cmd_run(args) -> int:
     runner = _runner_for(args)
     config = baseline_config(args.gpus).with_scheme(InvalidationScheme(args.scheme))
     config = config.with_policy(MigrationPolicy(args.policy))
-    if args.trace:
-        from .metrics.trace_export import trace_to_chrome, trace_to_jsonl
-        from .sim.trace import TraceRecorder
+    if args.faults:
+        from .config import ConfigError
+        from .faults.profiles import parse_fault_spec
 
-        tracer = TraceRecorder(capacity=args.trace_limit)
-        workload = runner.workload(args.app, num_gpus=args.gpus)
-        result = MultiGPUSystem(config, seed=runner.seed, tracer=tracer).run(workload)
-        export = trace_to_chrome if args.trace_format == "chrome" else trace_to_jsonl
-        count = export(tracer, args.trace)
-        print(
-            f"wrote {args.trace}: {count:,} {args.trace_format} trace records"
-            + (f" ({tracer.dropped:,} dropped)" if tracer.dropped else "")
+        try:
+            config = config.with_faults(parse_fault_spec(args.faults))
+        except ConfigError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+    if args.audit is not None:
+        config = config.with_faults(
+            audit_interval=args.audit, audit_on_quiesce=True
         )
+
+    system = None
+    if args.trace or args.faults or args.audit is not None:
+        # Faulted/audited runs bypass the memoising runner so the abort
+        # diagnostics (protocol-state dump) stay accessible.
+        workload = runner.workload(args.app, num_gpus=args.gpus)
+        tracer = None
+        if args.trace:
+            from .sim.trace import TraceRecorder
+
+            tracer = TraceRecorder(capacity=args.trace_limit)
+        system = MultiGPUSystem(config, seed=runner.seed, tracer=tracer)
+        result = system.run(workload)
+        if args.trace:
+            from .metrics.trace_export import trace_to_chrome, trace_to_jsonl
+
+            export = trace_to_chrome if args.trace_format == "chrome" else trace_to_jsonl
+            count = export(tracer, args.trace)
+            print(
+                f"wrote {args.trace}: {count:,} {args.trace_format} trace records"
+                + (f" ({tracer.dropped:,} dropped)" if tracer.dropped else "")
+            )
     else:
         result = runner.run(args.app, config)
     print(f"{args.app} on {args.gpus} GPUs, scheme={args.scheme}, policy={args.policy}")
@@ -197,6 +238,12 @@ def _cmd_run(args) -> int:
             print(f"  {key:<28} {value:.3f}")
         else:
             print(f"  {key:<28} {value}")
+    if result.aborted:
+        print(f"\nABORTED: {result.abort_reason}", file=sys.stderr)
+        dump = getattr(system, "abort_dump", "") if system is not None else ""
+        if dump:
+            print(dump, file=sys.stderr)
+        return 3
     return 0
 
 

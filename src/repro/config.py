@@ -8,8 +8,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
+from typing import Optional
 
 __all__ = [
+    "ConfigError",
     "MigrationPolicy",
     "InvalidationScheme",
     "DirectoryKind",
@@ -20,9 +22,20 @@ __all__ = [
     "TransFWConfig",
     "InterconnectConfig",
     "UVMConfig",
+    "FaultConfig",
     "SystemConfig",
     "baseline_config",
 ]
+
+
+class ConfigError(ValueError):
+    """An invalid configuration value, rejected at construction time so
+    bad knobs fail with a clear message instead of a downstream crash."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
 
 
 class MigrationPolicy(str, Enum):
@@ -64,8 +77,11 @@ class TLBConfig:
     lookup_latency: int
 
     def __post_init__(self) -> None:
+        _require(self.entries >= 1, "TLB entries must be >= 1")
+        _require(self.associativity >= 1, "TLB associativity must be >= 1")
+        _require(self.lookup_latency >= 0, "TLB lookup latency cannot be negative")
         if self.entries % self.associativity:
-            raise ValueError("TLB entries must be a multiple of associativity")
+            raise ConfigError("TLB entries must be a multiple of associativity")
 
     @property
     def sets(self) -> int:
@@ -81,6 +97,12 @@ class GMMUConfig:
     walk_cache_entries: int = 128
     walk_queue_entries: int = 64
 
+    def __post_init__(self) -> None:
+        _require(self.walker_threads >= 1, "GMMU needs at least one walker thread")
+        _require(self.walk_latency_per_level >= 0, "walk latency cannot be negative")
+        _require(self.walk_cache_entries >= 0, "walk cache entries cannot be negative")
+        _require(self.walk_queue_entries >= 1, "walk queue needs at least one entry")
+
 
 @dataclass(frozen=True)
 class IRMBConfig:
@@ -92,6 +114,19 @@ class IRMBConfig:
     offset_bits: int = 9
     #: ablation: disable spatial merging (every VPN gets its own entry).
     merge_enabled: bool = True
+
+    #: hard cap from §6.3's entry format: one merged entry holds at most
+    #: 16 nine-bit offset slots.
+    MAX_OFFSETS_PER_BASE = 16
+
+    def __post_init__(self) -> None:
+        _require(self.bases >= 1, "IRMB needs at least one base entry")
+        _require(
+            1 <= self.offsets_per_base <= self.MAX_OFFSETS_PER_BASE,
+            f"IRMB offsets_per_base must be in 1..{self.MAX_OFFSETS_PER_BASE} "
+            f"(got {self.offsets_per_base})",
+        )
+        _require(self.offset_bits >= 1, "IRMB offset_bits must be >= 1")
 
     @property
     def size_bytes(self) -> float:
@@ -109,6 +144,17 @@ class VMCacheConfig:
     associativity: int = 4
     lookup_latency: int = 4
     memory_access_latency: int = 120
+
+    def __post_init__(self) -> None:
+        _require(self.entries >= 1, "VM-Cache entries must be >= 1")
+        _require(self.associativity >= 1, "VM-Cache associativity must be >= 1")
+        if self.entries % self.associativity:
+            raise ConfigError("VM-Cache entries must be a multiple of associativity")
+        _require(self.lookup_latency >= 0, "VM-Cache lookup latency cannot be negative")
+        _require(
+            self.memory_access_latency >= 0,
+            "VM-Table memory latency cannot be negative",
+        )
 
     @property
     def sets(self) -> int:
@@ -133,6 +179,13 @@ class InterconnectConfig:
     pcie_bandwidth_gbps: float = 32.0
     pcie_latency: int = 250
     clock_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require(self.nvlink_bandwidth_gbps > 0, "NVLink bandwidth must be positive")
+        _require(self.pcie_bandwidth_gbps > 0, "PCIe bandwidth must be positive")
+        _require(self.nvlink_latency >= 0, "NVLink latency cannot be negative")
+        _require(self.pcie_latency >= 0, "PCIe latency cannot be negative")
+        _require(self.clock_ghz > 0, "clock frequency must be positive")
 
     def nvlink_cycles(self, num_bytes: int) -> int:
         """Serialisation cycles to push ``num_bytes`` over one NVLink."""
@@ -160,9 +213,125 @@ class UVMConfig:
     #: between thresholds (e.g. Fig. 20's 256 vs 512) are preserved.
     threshold_divisor: int = 128
 
+    def __post_init__(self) -> None:
+        _require(self.fault_batch_size >= 1, "fault batch size must be >= 1")
+        _require(self.fault_batch_timeout >= 0, "fault batch timeout cannot be negative")
+        _require(self.host_walk_latency >= 0, "host walk latency cannot be negative")
+        _require(
+            self.fault_handling_latency >= 0,
+            "fault handling latency cannot be negative",
+        )
+        _require(self.access_counter_threshold >= 1, "access-counter threshold must be >= 1")
+        _require(self.threshold_divisor >= 1, "threshold divisor must be >= 1")
+
     @property
     def effective_threshold(self) -> int:
         return max(1, self.access_counter_threshold // self.threshold_divisor)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic fault-injection profile and the protocol-resilience
+    knobs that defend against it (DESIGN.md §6).
+
+    All rates are per-message (or per-walk) probabilities drawn from
+    seeded RNG streams, so a given (config, workload, seed) triple
+    produces the same faults — and the same recovery trace — every run.
+    The profile is **disabled by default** (all rates zero): the hardened
+    retry protocol, watchdog, and auditors only switch on when a fault
+    rate is nonzero or they are explicitly enabled, so unfaulted runs
+    are byte-identical to the pre-fault-injection simulator.
+    """
+
+    # -- interconnect message perturbation (invalidation + ack packets) --
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    #: upper bound on injected extra delay; delays draw from the lower
+    #: half of this range, reorders from the upper half.
+    delay_max: int = 2000
+
+    # -- component perturbation -----------------------------------------
+    #: probability a GMMU walk stalls for ``walker_stall_cycles`` extra.
+    walker_stall_rate: float = 0.0
+    walker_stall_cycles: int = 500
+    #: probability an accepted invalidation force-evicts the LRU IRMB
+    #: entry (artificial overflow pressure).
+    irmb_pressure_rate: float = 0.0
+
+    # -- invalidation retry/timeout protocol -----------------------------
+    #: cycles the driver waits for an invalidation ack before retrying.
+    ack_timeout: int = 5_000
+    #: exponential backoff multiplier per retry.
+    retry_backoff: int = 2
+    #: cap on the backed-off per-attempt timeout.
+    ack_timeout_max: int = 40_000
+    #: retries before the driver gives up and marks the GPU suspect.
+    max_retries: int = 6
+    #: consecutive first-attempt acks that clear a GPU's suspect state.
+    suspect_recovery: int = 8
+
+    # -- liveness watchdog -----------------------------------------------
+    #: None = auto (watchdog on iff the fault profile is enabled).
+    watchdog_enabled: Optional[bool] = None
+    #: cycles between watchdog checks.
+    watchdog_interval: int = 5_000
+    #: no forward progress over this many cycles => abort.
+    watchdog_stall_window: int = 250_000
+    #: an invalidation unacked for this many cycles => abort.
+    ack_deadline: int = 300_000
+
+    # -- invariant auditors ----------------------------------------------
+    #: cycles between periodic invariant audits (0 = quiesce-only).
+    audit_interval: int = 0
+    #: None = auto (quiesce audit on iff the fault profile is enabled).
+    audit_on_quiesce: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "delay_rate", "duplicate_rate", "reorder_rate",
+                     "walker_stall_rate", "irmb_pressure_rate"):
+            rate = getattr(self, name)
+            _require(0.0 <= rate <= 1.0, f"fault {name} must be in [0, 1] (got {rate})")
+        _require(self.delay_max >= 1, "fault delay_max must be >= 1")
+        _require(self.walker_stall_cycles >= 0, "walker stall cycles cannot be negative")
+        _require(self.ack_timeout >= 1, "ack_timeout must be >= 1 cycle")
+        _require(self.retry_backoff >= 1, "retry_backoff must be >= 1")
+        _require(self.ack_timeout_max >= self.ack_timeout,
+                 "ack_timeout_max must be >= ack_timeout")
+        _require(self.max_retries >= 0, "max_retries cannot be negative")
+        _require(self.suspect_recovery >= 1, "suspect_recovery must be >= 1")
+        _require(self.watchdog_interval >= 1, "watchdog_interval must be >= 1")
+        _require(self.watchdog_stall_window >= self.watchdog_interval,
+                 "watchdog_stall_window must be >= watchdog_interval")
+        _require(self.ack_deadline >= self.ack_timeout,
+                 "ack_deadline must be >= ack_timeout")
+        _require(self.audit_interval >= 0, "audit_interval cannot be negative")
+
+    @property
+    def enabled(self) -> bool:
+        """Is any fault actually being injected?"""
+        return any((
+            self.drop_rate, self.delay_rate, self.duplicate_rate,
+            self.reorder_rate, self.walker_stall_rate, self.irmb_pressure_rate,
+        ))
+
+    @property
+    def watchdog_active(self) -> bool:
+        if self.watchdog_enabled is not None:
+            return self.watchdog_enabled
+        return self.enabled
+
+    @property
+    def quiesce_audit_active(self) -> bool:
+        if self.audit_on_quiesce is not None:
+            return self.audit_on_quiesce
+        return self.enabled
+
+    def retry_timeout(self, attempt: int) -> int:
+        """Bounded exponential backoff: attempt 0 waits ``ack_timeout``,
+        each retry multiplies by ``retry_backoff`` up to the cap."""
+        return min(self.ack_timeout * self.retry_backoff ** attempt, self.ack_timeout_max)
 
 
 @dataclass(frozen=True)
@@ -180,6 +349,7 @@ class SystemConfig:
     irmb: IRMBConfig = field(default_factory=IRMBConfig)
     vm_cache: VMCacheConfig = field(default_factory=VMCacheConfig)
     transfw: TransFWConfig = field(default_factory=TransFWConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     migration_policy: MigrationPolicy = MigrationPolicy.ACCESS_COUNTER
     invalidation_scheme: InvalidationScheme = InvalidationScheme.BROADCAST
@@ -205,12 +375,15 @@ class SystemConfig:
     trace_lanes: int = 8
 
     def __post_init__(self) -> None:
-        if self.num_gpus < 1:
-            raise ValueError("num_gpus must be >= 1")
+        _require(self.num_gpus >= 1, "num_gpus must be >= 1 (a zero-GPU system cannot run)")
+        _require(self.cus_per_gpu >= 1, "cus_per_gpu must be >= 1")
+        _require(self.page_size >= 1, "page_size must be positive")
         if self.page_size & (self.page_size - 1):
-            raise ValueError("page_size must be a power of two")
-        if self.directory_bits < 1:
-            raise ValueError("directory_bits must be >= 1")
+            raise ConfigError("page_size must be a power of two")
+        _require(self.directory_bits >= 1, "directory_bits must be >= 1")
+        _require(self.dram_latency >= 0, "dram_latency cannot be negative")
+        _require(self.inflight_per_cu >= 1, "inflight_per_cu must be >= 1")
+        _require(self.trace_lanes >= 1, "trace_lanes must be >= 1")
 
     # -- convenience constructors for the evaluation's variants ---------
 
@@ -240,6 +413,14 @@ class SystemConfig:
 
     def with_directory_bits(self, bits: int) -> "SystemConfig":
         return replace(self, directory_bits=bits)
+
+    def with_faults(self, faults: Optional[FaultConfig] = None, **overrides) -> "SystemConfig":
+        """Attach a fault profile (or override fields of the current one)."""
+        if faults is None:
+            faults = replace(self.faults, **overrides)
+        elif overrides:
+            faults = replace(faults, **overrides)
+        return replace(self, faults=faults)
 
 
 def baseline_config(num_gpus: int = 4, **overrides) -> SystemConfig:

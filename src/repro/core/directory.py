@@ -71,6 +71,15 @@ class InPTEDirectory:
             self._tracer.emit("dir.lookup", self.name, vpn, holders=result)
         return result
 
+    def peek_holders(self, vpn: int) -> List[int]:
+        """Like :meth:`holders` but side-effect free — no stats, no trace
+        — so the invariant auditor can inspect without perturbing runs."""
+        word = self.host_page_table.entry(vpn)
+        if word is None:
+            return []
+        bits = pte_bits.directory_bits(word, self.num_bits)
+        return [g for g in range(self.num_gpus) if bits & (1 << (g % self.num_bits))]
+
     def clear(self, vpn: int) -> None:
         """Clear every access bit (mappings are being invalidated)."""
         word = self.host_page_table.entry(vpn)

@@ -105,6 +105,15 @@ class VMTableDirectory:
         entry[1] = True
         self.stats.counter("clears").add()
 
+    def peek_holders(self, vpn: int) -> List[int]:
+        """Side-effect-free holder read: consults the VM-Cache entry if
+        present, else the backing table — without allocating a cache
+        entry, moving LRU state, or touching stats (invariant auditing
+        must not perturb the simulated cache)."""
+        entry = self._set_for(vpn).get(vpn)
+        bits = entry[0] if entry is not None else self._table.get(vpn, 0)
+        return [g for g in range(self.num_gpus) if bits & self._bit_of(g)]
+
     # -- introspection -----------------------------------------------------------
 
     def cache_hit_rate(self) -> float:

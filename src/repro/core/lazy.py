@@ -98,6 +98,31 @@ class LazyInvalidationController:
                 self._tracer.emit("lazy.cancel", self.name, vpn, where="inflight")
         return removed
 
+    def force_evict(self) -> int:
+        """Evict the LRU merged entry right now and propagate its walks
+        (fault injection's artificial IRMB overflow pressure); returns
+        the number of VPNs pushed out."""
+        vpns = self.irmb.pop_lru_entry()
+        if not vpns:
+            return 0
+        self.stats.counter("forced_evictions").add()
+        if self._tracer.enabled:
+            self._tracer.emit("lazy.force_evict", self.name, count=len(vpns))
+        self._queued_for_walk.update(vpns)
+        self.engine.process(self._propagate(vpns))
+        return len(vpns)
+
+    def pending_vpns(self) -> Set[int]:
+        """Every VPN whose invalidation has been accepted but not yet
+        applied to the page table: still merged in the IRMB, queued for
+        propagation, or walking.  Such VPNs legitimately have stale local
+        PTEs (the IRMB masks them), so the invariant auditor excuses
+        them."""
+        pending = set(self.irmb.pending_vpns())
+        pending |= self._queued_for_walk
+        pending.update(self._inflight_walks)
+        return pending
+
     # -- demand-miss probe ------------------------------------------------------
 
     def probe(self, vpn: int) -> bool:

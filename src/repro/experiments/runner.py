@@ -16,6 +16,7 @@ can trade fidelity for time:
 from __future__ import annotations
 
 import os
+import sys
 from typing import Dict, Optional, Tuple
 
 from ..config import SystemConfig
@@ -112,7 +113,19 @@ class ExperimentRunner:
                 app, num_gpus=config.num_gpus, page_size=config.page_size, scale=scale
             )
             system = MultiGPUSystem(config, seed=self.seed)
-            self._results[key] = system.run(workload)
+            result = system.run(workload)
+            if result.aborted:
+                # The watchdog or an invariant auditor killed the run.
+                # The partial statistics are still flushed into the
+                # result (marked ``aborted``) so the figure benches can
+                # decide what to do with it — but never silently.
+                print(
+                    f"[repro] WARNING: run aborted "
+                    f"(app={app}, scheme={config.invalidation_scheme.value}, "
+                    f"gpus={config.num_gpus}): {result.abort_reason}",
+                    file=sys.stderr,
+                )
+            self._results[key] = result
         return self._results[key]
 
     def cached_runs(self) -> int:

@@ -27,6 +27,13 @@ Scenarios:
     eviction), overflow the base array (LRU base eviction), then a
     final flush.
 
+``faulted_invalidation_retry``
+    Two GPUs under IDYLL with a seeded fault profile dropping, delaying,
+    and duplicating invalidation/ack packets while pages ping-pong.
+    Pins the *recovery* trace: ``fault.inject`` → ``inval.timeout`` →
+    ``inval.retry`` → idempotent dedup → eventual ack, with the quiesce
+    audit confirming no stale translation survives.
+
 Regenerate fixtures with ``python -m repro golden --update`` after any
 intentional behaviour change (see DESIGN.md).
 """
@@ -124,10 +131,43 @@ def irmb_merge_then_evict(tracer: TraceRecorder) -> None:
     engine.run()
 
 
+def faulted_invalidation_retry(tracer: TraceRecorder) -> None:
+    """Two GPUs under IDYLL with message faults: a hot page ping-pongs
+    between the GPUs while the injector drops/delays/duplicates the
+    shootdown traffic, forcing the hardened protocol through timeouts,
+    retries, and duplicate-suppression — and still completing with a
+    clean quiesce audit."""
+    hot = _BASE_VPN
+    private0 = _BASE_VPN + 100
+    private1 = _BASE_VPN + 200
+    trace0 = [(10, hot, True), (10, private0, False)]
+    trace0 += [(30, hot, False) for _ in range(8)]
+    trace1 = [(10, private1, False)] + [(25, hot, False) for _ in range(8)]
+    workload = Workload(name="golden-faulted-retry", traces=[[trace0], [trace1]])
+    config = _tiny_config(2, InvalidationScheme.IDYLL).with_faults(
+        drop_rate=0.25,
+        delay_rate=0.20,
+        duplicate_rate=0.20,
+        reorder_rate=0.10,
+        delay_max=1200,
+        ack_timeout=1500,
+        ack_timeout_max=6000,
+    )
+    system = MultiGPUSystem(config, seed=11, tracer=tracer)
+    result = system.run(workload)
+    if result.aborted:
+        raise AssertionError(
+            f"faulted golden scenario must complete, but aborted: {result.abort_reason}"
+        )
+    if result.inval_retries < 1:
+        raise AssertionError("faulted golden scenario produced no retries")
+
+
 SCENARIOS: Dict[str, Callable[[TraceRecorder], None]] = {
     "single_gpu_demand_fault": single_gpu_demand_fault,
     "cross_gpu_migration": cross_gpu_migration,
     "irmb_merge_then_evict": irmb_merge_then_evict,
+    "faulted_invalidation_retry": faulted_invalidation_retry,
 }
 
 

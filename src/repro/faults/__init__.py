@@ -1,0 +1,25 @@
+"""Deterministic fault injection and runtime invariant auditing.
+
+This package is the simulator's adversary: it perturbs the interconnect
+(dropping, delaying, duplicating, and reordering invalidation/ack
+messages), stalls GMMU walkers, and forces IRMB overflow pressure — all
+from seeded RNG streams so every faulted run is exactly reproducible.
+The :mod:`repro.faults.auditor` cross-checks directory state against
+actual TLB/page-table/IRMB residency so any fault the hardened protocol
+fails to mask is caught immediately rather than surfacing as a silently
+wrong result.  See DESIGN.md §6.
+"""
+
+from .auditor import InvariantViolation, audit_system, protocol_dump
+from .injector import FaultInjector, MessagePlan
+from .profiles import FAULT_PRESETS, parse_fault_spec
+
+__all__ = [
+    "FaultInjector",
+    "MessagePlan",
+    "InvariantViolation",
+    "audit_system",
+    "protocol_dump",
+    "FAULT_PRESETS",
+    "parse_fault_spec",
+]

@@ -1,0 +1,217 @@
+"""Runtime invariant auditors for the translation-coherence protocol.
+
+The auditors cross-check the *claimed* state (directory bits, host page
+table) against the *actual* state (TLB contents, GPU-local page tables,
+IRMB residency) so that any fault the hardened protocol fails to mask is
+caught as a loud, diagnosable abort instead of a silently wrong result.
+
+Checked invariants:
+
+1. **Physical consistency** — every valid host PTE points at a frame
+   that is resident on the owning GPU and maps back to the same VPN.
+2. **Directory coverage** — whenever a GPU holds a usable translation
+   (a TLB entry or a valid local PTE), the residency directory names it
+   as a holder.  Aliasing false positives are fine; a false *negative*
+   would let a migration skip that GPU's shootdown.
+3. **No stale translation** — every translation a GPU could serve
+   resolves to the same frame the host page table currently maps.
+
+Each check tolerates the protocol's legitimate transient windows: pages
+gated mid-migration, invalidations in flight (tracked by the driver's
+:class:`~repro.uvm.protocol.InvalidationTracker` or fast-path ledger),
+invalidations buffered lazily in the IRMB, read replicas, and the
+driver's explicitly counted stale-reply acceptances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..memory import pte as pte_bits
+from ..memory.physmem import PhysicalMemory
+from ..sim.engine import SimulationAbort
+
+__all__ = ["InvariantViolation", "audit_system", "audit_loop", "protocol_dump"]
+
+#: cap on violations reported per audit (the first few tell the story).
+MAX_REPORTED = 20
+
+
+class InvariantViolation(SimulationAbort):
+    """An invariant auditor caught the simulator serving or about to
+    serve inconsistent translation state."""
+
+
+def _residency(gpu) -> Iterator[Tuple[int, int, str]]:
+    """Every (vpn, pte_word, where) translation ``gpu`` could serve."""
+    for i, l1 in enumerate(gpu.l1_tlbs):
+        for vpn, word in l1.resident():
+            yield vpn, word, f"l1tlb{i}"
+    for vpn, word in gpu.l2_tlb.resident():
+        yield vpn, word, "l2tlb"
+    for vpn in gpu.page_table.valid_vpns():
+        yield vpn, gpu.page_table.entry(vpn), "page_table"
+
+
+def _excuse(system, gpu_id: int, vpn: int, lazy_pending) -> Optional[str]:
+    """Why a seemingly inconsistent (gpu, vpn) is legitimately in flux."""
+    driver = system.driver
+    if vpn in driver._gates:
+        return "migration in flight"
+    tracker = getattr(driver, "tracker", None)
+    if tracker is not None and tracker.is_pending_pair(gpu_id, vpn):
+        return "invalidation pending (tracked)"
+    if (gpu_id, vpn) in driver._inflight_invals:
+        return "invalidation in flight"
+    if vpn in lazy_pending:
+        return "invalidation buffered in IRMB"
+    if (gpu_id, vpn) in driver._stale_accepted:
+        return "stale reply deliberately accepted"
+    return None
+
+
+def audit_system(system) -> List[str]:
+    """Run every invariant check; returns the violations found (empty
+    means the system is consistent)."""
+    violations: List[str] = []
+
+    def report(message: str) -> bool:
+        violations.append(message)
+        return len(violations) >= MAX_REPORTED
+
+    driver = system.driver
+    host_pt = driver.host_page_table
+    directory = driver.directory
+
+    # 1. Physical consistency of the authoritative host page table.
+    for vpn in host_pt.valid_vpns():
+        word = host_pt.entry(vpn)
+        ppn = pte_bits.ppn(word)
+        owner = PhysicalMemory.owner_of(ppn)
+        if not 0 <= owner < len(system.gpus):
+            if report(f"host PTE vpn={vpn:#x} points at nonexistent gpu{owner}"):
+                return violations
+            continue
+        mapped = system.gpus[owner].memory.vpn_of(ppn)
+        if mapped != vpn:
+            if report(
+                f"host PTE vpn={vpn:#x} -> ppn={ppn:#x} on gpu{owner}, but that "
+                f"frame is {'free' if mapped is None else f'resident for vpn={mapped:#x}'}"
+            ):
+                return violations
+
+    # 2 + 3. Per-GPU residency versus directory and host truth.
+    for gpu in system.gpus:
+        lazy_pending = gpu.lazy.pending_vpns() if gpu.lazy is not None else frozenset()
+        holders_cache: Dict[int, bool] = {}
+        seen: set = set()
+        for vpn, word, where in _residency(gpu):
+            key = (vpn, word, where)
+            if key in seen:
+                continue
+            seen.add(key)
+
+            excuse = None
+            excuse_known = False
+
+            if directory is not None:
+                covered = holders_cache.get(vpn)
+                if covered is None:
+                    covered = gpu.gpu_id in directory.peek_holders(vpn)
+                    holders_cache[vpn] = covered
+                if not covered:
+                    excuse = _excuse(system, gpu.gpu_id, vpn, lazy_pending)
+                    excuse_known = True
+                    if excuse is None:
+                        if report(
+                            f"gpu{gpu.gpu_id} holds vpn={vpn:#x} in {where} but the "
+                            f"directory does not list it as a holder"
+                        ):
+                            return violations
+
+            host_word = host_pt.translate(vpn)
+            stale = host_word is None or pte_bits.ppn(host_word) != pte_bits.ppn(word)
+            if stale and driver.replicas.has_replica(vpn, gpu.gpu_id):
+                stale = pte_bits.ppn(word) != driver.replicas.replica_ppn(vpn, gpu.gpu_id)
+            if stale:
+                if not excuse_known:
+                    excuse = _excuse(system, gpu.gpu_id, vpn, lazy_pending)
+                if excuse is None:
+                    host_desc = (
+                        "no valid host mapping" if host_word is None
+                        else f"host maps ppn={pte_bits.ppn(host_word):#x}"
+                    )
+                    if report(
+                        f"gpu{gpu.gpu_id} can serve stale vpn={vpn:#x} from {where} "
+                        f"(ppn={pte_bits.ppn(word):#x}, {host_desc})"
+                    ):
+                        return violations
+
+    return violations
+
+
+def audit_loop(system, interval: int, active_fn: Callable[[], bool]):
+    """Process body: periodic audits every ``interval`` cycles while the
+    simulation is active; raises :class:`InvariantViolation` on the first
+    inconsistent snapshot."""
+    engine = system.engine
+    while True:
+        yield interval
+        if not active_fn():
+            return
+        system.audits_run += 1
+        violations = audit_system(system)
+        if violations:
+            if engine.tracer.enabled:
+                engine.tracer.emit("audit.fail", "auditor", count=len(violations))
+            raise InvariantViolation(
+                f"invariant audit failed at cycle {engine.now}: {violations[0]}"
+                + (f" (+{len(violations) - 1} more)" if len(violations) > 1 else ""),
+                dump=protocol_dump(system, violations),
+            )
+        if engine.tracer.enabled:
+            engine.tracer.emit("audit.pass", "auditor")
+
+
+def protocol_dump(system, violations: Optional[List[str]] = None) -> str:
+    """Human-readable snapshot of the protocol state for abort reports."""
+    driver = system.driver
+    lines: List[str] = [f"=== protocol state at cycle {system.engine.now} ==="]
+    if violations:
+        lines.append("violations:")
+        lines.extend(f"  {v}" for v in violations)
+    tracker = getattr(driver, "tracker", None)
+    if tracker is not None:
+        lines.append(tracker.dump())
+    if driver._inflight_invals:
+        lines.append(f"fast-path invalidations in flight: {len(driver._inflight_invals)}")
+    gates = sorted(driver._gates)
+    lines.append(
+        "migration gates closed: "
+        + (", ".join(f"{vpn:#x}" for vpn in gates) if gates else "none")
+    )
+    for gpu in system.gpus:
+        tlb_entries = sum(l1.occupancy() for l1 in gpu.l1_tlbs) + gpu.l2_tlb.occupancy()
+        parts = [
+            f"gpu{gpu.gpu_id}: tlb_entries={tlb_entries}",
+            f"pt_valid={sum(1 for _ in gpu.page_table.valid_vpns())}",
+        ]
+        if gpu.lazy is not None:
+            parts.append(f"irmb_pending={len(gpu.lazy.pending_vpns())}")
+        parts.append(f"gmmu_load={gpu.gmmu.load}")
+        lines.append("  ".join(parts))
+    injector = getattr(system, "injector", None)
+    if injector is not None and injector.enabled:
+        lines.append(injector.summary())
+    counters = driver.stats
+    lines.append(
+        "driver: "
+        + ", ".join(
+            f"{name}={counters.counter(name).value}"
+            for name in (
+                "invalidations_sent", "inval_retries", "inval_timeouts",
+                "inval_abandoned", "far_faults", "migrations",
+            )
+        )
+    )
+    return "\n".join(lines)

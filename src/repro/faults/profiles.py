@@ -1,0 +1,97 @@
+"""Named fault profiles and the ``--faults`` CLI spec parser.
+
+A spec is either a preset name (``light`` / ``moderate`` / ``heavy``) or
+a comma-separated list of ``key=value`` overrides applied on top of an
+optional leading preset, e.g.::
+
+    --faults heavy
+    --faults drop=0.1,dup=0.05,reorder=0.1
+    --faults light,walker_stall=0.2,ack_timeout=2000
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+from typing import Dict
+
+from ..config import ConfigError, FaultConfig
+
+__all__ = ["FAULT_PRESETS", "parse_fault_spec"]
+
+FAULT_PRESETS: Dict[str, FaultConfig] = {
+    "light": FaultConfig(
+        drop_rate=0.02, delay_rate=0.05, duplicate_rate=0.01, reorder_rate=0.02,
+    ),
+    "moderate": FaultConfig(
+        drop_rate=0.05, delay_rate=0.10, duplicate_rate=0.03, reorder_rate=0.05,
+        walker_stall_rate=0.02,
+    ),
+    "heavy": FaultConfig(
+        drop_rate=0.20, delay_rate=0.20, duplicate_rate=0.10, reorder_rate=0.20,
+        walker_stall_rate=0.05, irmb_pressure_rate=0.05,
+    ),
+}
+
+#: short aliases accepted in key=value specs.
+_ALIASES = {
+    "drop": "drop_rate",
+    "delay": "delay_rate",
+    "dup": "duplicate_rate",
+    "duplicate": "duplicate_rate",
+    "reorder": "reorder_rate",
+    "walker_stall": "walker_stall_rate",
+    "stall": "walker_stall_rate",
+    "irmb_pressure": "irmb_pressure_rate",
+    "pressure": "irmb_pressure_rate",
+}
+
+_FIELD_TYPES = {f.name: f.type for f in fields(FaultConfig)}
+
+
+def _coerce(name: str, raw: str):
+    declared = _FIELD_TYPES[name]
+    if declared == "float":
+        return float(raw)
+    if declared == "int":
+        return int(raw)
+    # Optional[bool] knobs (watchdog_enabled, audit_on_quiesce).
+    lowered = raw.strip().lower()
+    if lowered in ("true", "1", "yes", "on"):
+        return True
+    if lowered in ("false", "0", "no", "off"):
+        return False
+    raise ConfigError(f"cannot parse {raw!r} for fault knob {name!r}")
+
+
+def parse_fault_spec(spec: str) -> FaultConfig:
+    """Parse a ``--faults`` spec into a :class:`FaultConfig`."""
+    config = FaultConfig()
+    overrides = {}
+    for i, part in enumerate(p.strip() for p in spec.split(",")):
+        if not part:
+            continue
+        if "=" not in part:
+            if i != 0:
+                raise ConfigError(
+                    f"preset name {part!r} must come first in a fault spec"
+                )
+            try:
+                config = FAULT_PRESETS[part]
+            except KeyError:
+                raise ConfigError(
+                    f"unknown fault preset {part!r}; have {sorted(FAULT_PRESETS)}"
+                ) from None
+            continue
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        name = _ALIASES.get(key, key)
+        if name not in _FIELD_TYPES:
+            raise ConfigError(
+                f"unknown fault knob {key!r}; have "
+                f"{sorted(set(_FIELD_TYPES) | set(_ALIASES))}"
+            )
+        try:
+            overrides[name] = _coerce(name, raw.strip())
+        except ValueError as exc:
+            raise ConfigError(f"bad value for fault knob {key!r}: {exc}") from None
+    return replace(config, **overrides) if overrides else config

@@ -33,11 +33,14 @@ class GMMU:
         config: GMMUConfig,
         page_table: PageTable,
         name: str = "gmmu",
+        injector=None,
     ) -> None:
         self.engine = engine
         self.config = config
         self.page_table = page_table
         self.name = name
+        #: fault injector (None in unfaulted runs): may stall walks.
+        self._injector = injector
         self.stats = StatsGroup(name)
         self._tracer = engine.tracer
         self.pwc = PageWalkCache(config.walk_cache_entries, page_table.layout, f"{name}.pwc")
@@ -126,6 +129,15 @@ class GMMU:
                 "walk.start", self.name, request.vpn,
                 kind=request.kind.value, levels=levels, queue_wait=queue_wait,
             )
+        if self._injector is not None:
+            stall = self._injector.walker_stall(self.name)
+            if stall:
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "fault.inject", self.name, request.vpn,
+                        kind="walker_stall", cycles=stall,
+                    )
+                yield stall
         yield levels * self.config.walk_latency_per_level
         self.pwc.fill(request.vpn)
         self.stats.latency(f"walk_levels.{request.kind.value}").record(levels)

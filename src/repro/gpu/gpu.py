@@ -54,6 +54,7 @@ class GPU:
         interconnect: Interconnect,
         driver,
         seed: int = 7,
+        injector=None,
     ) -> None:
         self.engine = engine
         self.gpu_id = gpu_id
@@ -64,10 +65,20 @@ class GPU:
         self.name = f"gpu{gpu_id}"
         self.stats = StatsGroup(f"gpu{gpu_id}")
         self._tracer = engine.tracer
+        #: fault injector (None in unfaulted runs).
+        self.injector = injector
+        #: sequence numbers of hardened invalidations already processed,
+        #: so duplicated/retried requests are re-acked idempotently.
+        self._seen_inval_seqs: set = set()
+        #: per-VPN invalidation epoch; lets an in-flight mapping install
+        #: detect that a shootdown overtook its UPDATE walk.
+        self._inval_epoch: dict = {}
 
         self.page_table = PageTable(layout, f"gpu{gpu_id}.pt")
         self.memory = PhysicalMemory(gpu_id, DEVICE_MEMORY_BYTES, config.page_size)
-        self.gmmu = GMMU(engine, config.gmmu, self.page_table, f"gpu{gpu_id}.gmmu")
+        self.gmmu = GMMU(
+            engine, config.gmmu, self.page_table, f"gpu{gpu_id}.gmmu", injector=injector
+        )
         self.l1_tlbs: List[TLB] = [
             TLB(config.l1_tlb, f"gpu{gpu_id}.l1tlb{i}", tracer=engine.tracer)
             for i in range(config.trace_lanes)
@@ -206,10 +217,23 @@ class GPU:
         if word is None:
             word = yield self.driver.raise_far_fault(self.gpu_id, vpn, is_write)
 
-        if self.lazy is not None:
-            self.lazy.on_new_mapping(vpn)
-        update = self.gmmu.walk(vpn, WalkKind.UPDATE, word=word)
-        yield update.done
+        while True:
+            epoch = self._inval_epoch.get(vpn, 0) if self.injector is not None else 0
+            if self.lazy is not None:
+                self.lazy.on_new_mapping(vpn)
+            update = self.gmmu.walk(vpn, WalkKind.UPDATE, word=word)
+            yield update.done
+            if self.injector is None or self._inval_epoch.get(vpn, 0) == epoch:
+                break
+            # A shootdown overtook the UPDATE walk (possible once faults
+            # stall walkers or delay messages): the word just installed
+            # is already stale.  Undo the install and refetch.
+            self.stats.counter("stale_install_races").add()
+            if self._tracer.enabled:
+                self._tracer.emit("fault.stale_install", self.name, vpn)
+            self._shootdown_tlbs(vpn)
+            self.page_table.invalidate(vpn)
+            word = yield self.driver.raise_far_fault(self.gpu_id, vpn, is_write)
         self.stats.latency("far_fault_latency").record(self.engine.now - t0)
         return word
 
@@ -259,13 +283,28 @@ class GPU:
     # Shootdown handling (driver-facing)
     # ------------------------------------------------------------------
 
-    def receive_invalidation(self, vpn: int, dst: int) -> Event:
+    def receive_invalidation(self, vpn: int, dst: int, seq: Optional[int] = None) -> Event:
         """Handle one incoming PTE invalidation request; the returned
-        event is the GPU's acknowledgement."""
+        event is the GPU's acknowledgement.
+
+        ``seq`` identifies the logical message under the hardened
+        protocol: a retry or duplicated packet carrying a sequence number
+        this GPU has already processed is *not* re-applied — it is
+        re-acked immediately, making delivery idempotent.
+        """
+        if seq is not None:
+            if seq in self._seen_inval_seqs:
+                self.stats.counter("inval_received.duplicate").add()
+                if self._tracer.enabled:
+                    self._tracer.emit("inval.dedup", self.name, vpn, iseq=seq)
+                return self.engine.event().succeed()
+            self._seen_inval_seqs.add(seq)
         necessary = self.page_table.translate(vpn) is not None
         self.stats.counter(
             "inval_received.necessary" if necessary else "inval_received.unnecessary"
         ).add()
+        if self.injector is not None:
+            self._inval_epoch[vpn] = self._inval_epoch.get(vpn, 0) + 1
         self._shootdown_tlbs(vpn)
         if self.transfw is not None:
             # Learn where the page is heading: future faults can forward.
@@ -275,6 +314,9 @@ class GPU:
         if self.lazy is not None:
             # Lazy invalidation: buffer in the IRMB, ack immediately (§6.3).
             self.lazy.accept_invalidation(vpn)
+            if self.injector is not None and self.injector.irmb_pressure(f"{self.name}.irmb"):
+                # Artificial overflow pressure: force the LRU entry out.
+                self.lazy.force_evict()
             ack.succeed()
         else:
             request = self.gmmu.walk(vpn, WalkKind.INVALIDATE)

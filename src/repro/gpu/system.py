@@ -4,14 +4,23 @@
 GPUs together from one :class:`~repro.config.SystemConfig`, then
 :meth:`run` replays a workload and returns a
 :class:`~repro.metrics.collector.SimulationResult`.
+
+When the config's :class:`~repro.config.FaultConfig` injects faults,
+the system additionally builds the seeded
+:class:`~repro.faults.injector.FaultInjector`, arms the liveness
+watchdog, and runs the invariant auditors — so a faulted run either
+completes with consistent translation state or aborts loudly with a
+protocol-state dump (never hangs, never silently serves stale data).
 """
 
 from __future__ import annotations
 
 from ..config import SystemConfig
+from ..faults.auditor import InvariantViolation, audit_loop, audit_system, protocol_dump
+from ..faults.injector import FaultInjector
 from ..interconnect.topology import Interconnect
 from ..memory.address import AddressLayout
-from ..sim.engine import AllOf, Engine
+from ..sim.engine import AllOf, Engine, LivenessWatchdog, SimulationAbort, WatchdogError
 from ..uvm.driver import UVMDriver
 from .cu import Lane
 from .gpu import GPU
@@ -35,16 +44,57 @@ class MultiGPUSystem:
         self.seed = seed
         self.engine = Engine(tracer=tracer)
         self.tracer = self.engine.tracer
+        self.injector = (
+            FaultInjector(config.faults, seed, tracer=self.engine.tracer)
+            if config.faults.enabled
+            else None
+        )
         levels = 3 if config.page_size >= LARGE_PAGE_THRESHOLD else 4
         self.layout = AddressLayout(config.page_size, levels=levels)
         self.interconnect = Interconnect(self.engine, config.interconnect, config.num_gpus)
-        self.driver = UVMDriver(self.engine, config, self.interconnect, self.layout)
+        self.driver = UVMDriver(
+            self.engine, config, self.interconnect, self.layout, injector=self.injector
+        )
         self.gpus = [
-            GPU(self.engine, g, config, self.layout, self.interconnect, self.driver, seed)
+            GPU(
+                self.engine, g, config, self.layout, self.interconnect,
+                self.driver, seed, injector=self.injector,
+            )
             for g in range(config.num_gpus)
         ]
         self.driver.attach_gpus(self.gpus)
         self.finish_time: int = 0
+        #: abort state, populated by :meth:`run` when a watchdog or
+        #: auditor terminates the simulation early.
+        self.aborted: bool = False
+        self.abort_reason: str = ""
+        self.abort_dump: str = ""
+        self.audits_run: int = 0
+
+    # ------------------------------------------------------------------
+    # Liveness / consistency hooks
+    # ------------------------------------------------------------------
+
+    def _progress_metric(self) -> int:
+        """Monotonic forward-progress count sampled by the watchdog.
+
+        Retries and timeouts count: a protocol that is still retrying is
+        making (bounded) progress; only a truly wedged system flatlines.
+        """
+        total = 0
+        for gpu in self.gpus:
+            counters = gpu.stats
+            total += counters.counter("accesses_completed").value
+            total += counters.counter("far_faults").value
+            total += counters.counter("inval_received.necessary").value
+            total += counters.counter("inval_received.unnecessary").value
+        driver_stats = self.driver.stats
+        for name in (
+            "far_faults", "migrations", "invalidations_sent",
+            "inval_retries", "inval_timeouts",
+        ):
+            total += driver_stats.counter(name).value
+        return total
 
     def run(self, workload) -> "SimulationResult":
         """Replay ``workload`` to completion; returns collected metrics.
@@ -53,6 +103,10 @@ class MultiGPUSystem:
         retired its whole trace (in-flight background work — fault
         batches, lazy writebacks — is drained afterwards but does not
         extend the application's end-to-end time).
+
+        On a watchdog or auditor abort the partial statistics are still
+        collected; the result is marked ``aborted`` and carries the
+        protocol-state dump instead of silently losing the run.
         """
         if len(workload.traces) != self.config.num_gpus:
             raise ValueError(
@@ -66,16 +120,70 @@ class MultiGPUSystem:
                     raise ValueError("workload has more lanes than config.trace_lanes")
                 lane_processes.append(self.engine.process(Lane(gpu, lane_id, trace).run()))
 
+        master_done = [False]
+
         def master():
             """Records end-to-end time once every lane retires."""
             yield AllOf(self.engine, lane_processes)
             self.finish_time = self.engine.now
+            master_done[0] = True
             for gpu in self.gpus:
                 if gpu.lazy is not None:
                     gpu.lazy.stop()
 
         self.engine.process(master())
-        self.engine.run()
+
+        faults = self.config.faults
+        tracker = self.driver.tracker
+
+        def still_active() -> bool:
+            if not master_done[0]:
+                return True
+            return tracker is not None and tracker.has_pending()
+
+        if faults.watchdog_active:
+            LivenessWatchdog(
+                self.engine,
+                interval=faults.watchdog_interval,
+                stall_window=faults.watchdog_stall_window,
+                progress_fn=self._progress_metric,
+                dump_fn=lambda: protocol_dump(self),
+                deadline_fn=(
+                    (lambda: tracker.deadline_violation(faults.ack_deadline))
+                    if tracker is not None
+                    else None
+                ),
+                active_fn=still_active,
+            )
+        if faults.audit_interval > 0:
+            self.engine.process(audit_loop(self, faults.audit_interval, still_active))
+
+        try:
+            self.engine.run()
+            if not master_done[0]:
+                # The calendar drained with lanes still blocked: an
+                # outright deadlock (e.g. a lost ack with the watchdog
+                # disabled).  Refuse to report it as a completed run.
+                raise WatchdogError(
+                    "simulation deadlocked: event calendar drained before "
+                    "all lanes retired",
+                    dump=protocol_dump(self),
+                )
+            if faults.quiesce_audit_active:
+                self.audits_run += 1
+                violations = audit_system(self)
+                if violations:
+                    raise InvariantViolation(
+                        "quiesce audit failed: " + violations[0]
+                        + (f" (+{len(violations) - 1} more)" if len(violations) > 1 else ""),
+                        dump=protocol_dump(self, violations),
+                    )
+        except SimulationAbort as abort:
+            self.aborted = True
+            self.abort_reason = str(abort)
+            self.abort_dump = abort.dump
+            if not master_done[0]:
+                self.finish_time = self.engine.now
 
         from ..metrics.collector import collect
 

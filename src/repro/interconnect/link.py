@@ -42,14 +42,22 @@ class Link:
     def serialisation_cycles(self, num_bytes: int) -> int:
         return max(1, round(num_bytes / self.bandwidth_gbps * self.clock_ghz))
 
-    def transfer(self, num_bytes: int) -> Event:
+    def transfer(self, num_bytes: int, extra_delay: int = 0) -> Event:
         """Start a transfer; the event fires when the payload has fully
-        arrived at the far end."""
+        arrived at the far end.
+
+        ``extra_delay`` holds the message *before* it contends for the
+        port — the fault injector's knob for delaying (and, with a large
+        enough value, reordering) individual packets on the wire.
+        """
         done = self.engine.event()
-        self.engine.process(self._transfer(num_bytes, done))
+        self.engine.process(self._transfer(num_bytes, done, extra_delay))
         return done
 
-    def _transfer(self, num_bytes: int, done: Event):
+    def _transfer(self, num_bytes: int, done: Event, extra_delay: int = 0):
+        if extra_delay:
+            self.stats.counter("delayed_transfers").add()
+            yield self.engine.timeout(extra_delay)
         t0 = self.engine.now
         yield self._port.request()
         yield self.engine.timeout(self.serialisation_cycles(num_bytes))

@@ -51,21 +51,21 @@ class Interconnect:
         if not 0 <= gpu < self.num_gpus:
             raise ValueError(f"no such GPU: {gpu}")
 
-    def gpu_to_gpu(self, src: int, dst: int, num_bytes: int) -> Event:
+    def gpu_to_gpu(self, src: int, dst: int, num_bytes: int, extra_delay: int = 0) -> Event:
         """Transfer between two GPUs over the source's NVLink port."""
         self._check_gpu(src)
         self._check_gpu(dst)
         if src == dst:
             raise ValueError("gpu_to_gpu requires distinct endpoints")
-        return self._nvlink_out[src].transfer(num_bytes)
+        return self._nvlink_out[src].transfer(num_bytes, extra_delay)
 
-    def gpu_to_host(self, gpu: int, num_bytes: int) -> Event:
+    def gpu_to_host(self, gpu: int, num_bytes: int, extra_delay: int = 0) -> Event:
         self._check_gpu(gpu)
-        return self._pcie_up[gpu].transfer(num_bytes)
+        return self._pcie_up[gpu].transfer(num_bytes, extra_delay)
 
-    def host_to_gpu(self, gpu: int, num_bytes: int) -> Event:
+    def host_to_gpu(self, gpu: int, num_bytes: int, extra_delay: int = 0) -> Event:
         self._check_gpu(gpu)
-        return self._pcie_down[gpu].transfer(num_bytes)
+        return self._pcie_down[gpu].transfer(num_bytes, extra_delay)
 
     def nvlink_bytes(self) -> int:
         return sum(l.stats.counter("bytes").value for l in self._nvlink_out.values())

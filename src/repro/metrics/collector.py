@@ -87,6 +87,19 @@ class SimulationResult:
     nvlink_bytes: int = 0
     pcie_bytes: int = 0
 
+    # robustness / fault injection
+    #: True when a watchdog or invariant auditor terminated the run
+    #: early; the stats above then cover the cycles up to the abort.
+    aborted: bool = False
+    abort_reason: str = ""
+    faults_injected: int = 0
+    inval_retries: int = 0
+    inval_timeouts: int = 0
+    inval_abandoned: int = 0
+    inval_degraded: int = 0
+    inval_duplicates: int = 0
+    audits_run: int = 0
+
     extras: Dict[str, float] = field(default_factory=dict)
 
     # -- derived -----------------------------------------------------------
@@ -189,6 +202,20 @@ def collect(system, workload) -> SimulationResult:
     result.replica_collapses = driver.stats.counter("replica_collapses").value
     if driver.directory is not None and hasattr(driver.directory, "cache_hit_rate"):
         result.vm_cache_hit_rate = driver.directory.cache_hit_rate()
+
+    result.inval_retries = driver.stats.counter("inval_retries").value
+    result.inval_timeouts = driver.stats.counter("inval_timeouts").value
+    result.inval_abandoned = driver.stats.counter("inval_abandoned").value
+    result.inval_degraded = driver.stats.counter("inval_degraded").value
+    for gpu in system.gpus:
+        result.inval_duplicates += gpu.stats.counter("inval_received.duplicate").value
+
+    result.aborted = bool(getattr(system, "aborted", False))
+    result.abort_reason = getattr(system, "abort_reason", "")
+    result.audits_run = getattr(system, "audits_run", 0)
+    injector = getattr(system, "injector", None)
+    if injector is not None:
+        result.faults_injected = injector.injected_total()
 
     result.nvlink_bytes = system.interconnect.nvlink_bytes()
     result.pcie_bytes = system.interconnect.pcie_bytes()

@@ -27,13 +27,33 @@ __all__ = [
     "Timeout",
     "Process",
     "AllOf",
+    "AnyOf",
     "Interrupt",
     "SimulationError",
+    "SimulationAbort",
+    "WatchdogError",
+    "LivenessWatchdog",
 ]
 
 
 class SimulationError(RuntimeError):
     """Raised for illegal uses of the simulation kernel."""
+
+
+class SimulationAbort(SimulationError):
+    """A simulation was deliberately terminated mid-run (watchdog fired,
+    invariant auditor tripped).  Carries a diagnostic ``dump`` of the
+    in-flight state at abort time."""
+
+    def __init__(self, message: str, dump: str = "") -> None:
+        super().__init__(message)
+        self.dump = dump
+
+
+class WatchdogError(SimulationAbort):
+    """The liveness watchdog detected deadlock/livelock: no forward
+    progress over the configured window, or a protocol message unacked
+    past its hard deadline."""
 
 
 class Interrupt(Exception):
@@ -222,6 +242,96 @@ class AllOf(Event):
         self._pending -= 1
         if self._pending == 0 and not self._triggered:
             self.succeed([c.value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires as soon as the first child event fires; value is that
+    child's value.  Later children firing are ignored (their callbacks
+    find the composition already triggered)."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: Engine, events: Iterable[Event]) -> None:
+        super().__init__(engine)
+        for ev in events:
+            ev.add_callback(self._child_done)
+
+    def _child_done(self, ev: Event) -> None:
+        if not self._triggered:
+            self.succeed(ev.value)
+
+
+class LivenessWatchdog:
+    """Detects deadlock/livelock in a running simulation.
+
+    Every ``interval`` cycles the watchdog samples a monotonically
+    non-decreasing progress metric (``progress_fn``).  If the metric has
+    not advanced for ``stall_window`` cycles, or ``deadline_fn`` reports
+    a hard-deadline violation (e.g. an invalidation unacked too long),
+    the watchdog raises :class:`WatchdogError` carrying ``dump_fn()``'s
+    diagnostic snapshot — aborting ``Engine.run`` instead of hanging.
+
+    The watchdog's own periodic timeout keeps the event calendar
+    non-empty, so ``active_fn`` tells it when the simulation proper has
+    finished and it should let the engine drain.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        interval: int,
+        stall_window: int,
+        progress_fn: Callable[[], int],
+        dump_fn: Callable[[], str] = lambda: "",
+        deadline_fn: Optional[Callable[[], Optional[str]]] = None,
+        active_fn: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        if interval < 1:
+            raise SimulationError("watchdog interval must be >= 1 cycle")
+        if stall_window < interval:
+            raise SimulationError("watchdog stall window must be >= interval")
+        self.engine = engine
+        self.interval = interval
+        self.stall_window = stall_window
+        self.progress_fn = progress_fn
+        self.dump_fn = dump_fn
+        self.deadline_fn = deadline_fn
+        self.active_fn = active_fn
+        self.checks = 0
+        self._stopped = False
+        self._last_progress = progress_fn()
+        self._last_change = engine.now
+        engine.process(self._loop())
+
+    def stop(self) -> None:
+        """Let the loop exit at its next tick (simulation finished)."""
+        self._stopped = True
+
+    def _abort(self, reason: str) -> None:
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.emit("watchdog.abort", "watchdog", reason=reason)
+        raise WatchdogError(reason, dump=self.dump_fn())
+
+    def _loop(self):
+        while True:
+            yield self.interval
+            if self._stopped or (self.active_fn is not None and not self.active_fn()):
+                return
+            self.checks += 1
+            if self.deadline_fn is not None:
+                violated = self.deadline_fn()
+                if violated:
+                    self._abort(f"hard deadline exceeded: {violated}")
+            progress = self.progress_fn()
+            if progress != self._last_progress:
+                self._last_progress = progress
+                self._last_change = self.engine.now
+            elif self.engine.now - self._last_change >= self.stall_window:
+                self._abort(
+                    f"no forward progress for {self.engine.now - self._last_change} "
+                    f"cycles (metric stuck at {progress})"
+                )
 
 
 class Process(Event):

@@ -91,6 +91,12 @@ class TLB:
         for entry_set in self._sets:
             entry_set.clear()
 
+    def resident(self):
+        """Iterate ``(vpn, word)`` over every cached translation without
+        touching LRU or stats (invariant auditing)."""
+        for entry_set in self._sets:
+            yield from entry_set.items()
+
     def occupancy(self) -> int:
         return sum(len(s) for s in self._sets)
 

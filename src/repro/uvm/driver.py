@@ -30,11 +30,12 @@ from ..memory import pte as pte_bits
 from ..memory.address import AddressLayout
 from ..memory.page_table import PageTable
 from ..memory.physmem import PhysicalMemory
-from ..sim.engine import AllOf, Engine, Event
+from ..sim.engine import AllOf, AnyOf, Engine, Event
 from ..sim.process import Gate, Resource, Store
 from ..sim.stats import StatsGroup
 from .fault import FarFault
 from .migration import AccessCounters
+from .protocol import InvalidationTracker, PendingInvalidation
 from .replication import ReplicaDirectory
 
 __all__ = ["UVMDriver"]
@@ -56,6 +57,7 @@ class UVMDriver:
         config: SystemConfig,
         interconnect: Interconnect,
         layout: AddressLayout,
+        injector=None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -64,6 +66,20 @@ class UVMDriver:
         self.name = "uvm"
         self.stats = StatsGroup("uvm")
         self._tracer = engine.tracer
+        #: fault injector; non-None switches shootdowns to the hardened
+        #: sequence-numbered retry/timeout protocol.
+        self.injector = injector
+        self.tracker: Optional[InvalidationTracker] = (
+            InvalidationTracker(engine, config.faults, stats=self.stats, tracer=engine.tracer)
+            if injector is not None
+            else None
+        )
+        #: fast-path ledger of in-flight invalidations, (gpu, vpn) → count
+        #: (the hardened path tracks these in ``self.tracker`` instead).
+        self._inflight_invals: Dict[tuple, int] = {}
+        #: (gpu, vpn) pairs whose stale fault reply was deliberately
+        #: accepted after MAX_REPLY_RETRIES — the auditor excuses these.
+        self._stale_accepted: Set[tuple] = set()
         # Host page tables are 5-level in the paper's Fig. 9.
         host_layout = AddressLayout(layout.page_size, levels=layout.levels + 1)
         self.host_page_table = PageTable(host_layout, "host_pt")
@@ -171,8 +187,11 @@ class UVMDriver:
             attempts += 1
             if attempts > self.MAX_REPLY_RETRIES:
                 # Accept the (possibly already-stale) mapping: the GPU
-                # will simply fault again on its next shootdown.
+                # will simply fault again on its next shootdown.  Record
+                # the pair so the invariant auditor knows this bounded
+                # staleness was a counted decision, not a protocol leak.
                 self.stats.counter("stale_replies_accepted").add()
+                self._stale_accepted.add((fault.gpu_id, fault.vpn))
                 break
             # The page migrated underneath us: the resolved mapping is
             # stale; re-resolve rather than install it.
@@ -321,15 +340,23 @@ class UVMDriver:
         elif scheme in _DIRECTORY_SCHEMES:
             # Must wait for the host walk to learn the access bits (§6.2).
             holders = yield host_walk
-            acks = [
-                self.engine.process(self._send_invalidation(g, vpn, dst))
-                for g in (holders or [])
-            ]
+            targets = list(holders or [])
+            if self.tracker is not None and self.tracker.suspects:
+                # Graceful degradation: a GPU whose directory state is
+                # suspect (repeated ack timeouts) is shot down whether or
+                # not the directory filter names it, until it recovers.
+                extra = sorted(self.tracker.suspects.difference(targets))
+                if extra:
+                    targets.extend(extra)
+                    self.stats.counter("inval_degraded").add(len(extra))
+                    if self._tracer.enabled:
+                        self._tracer.emit("inval.degrade", self.name, vpn, gpus=extra)
+            acks = [self._spawn_invalidation(g, vpn, dst) for g in targets]
             yield AllOf(self.engine, acks)
         else:
             # Baseline: broadcast immediately, in parallel with the host walk.
             acks = [
-                self.engine.process(self._send_invalidation(g, vpn, dst))
+                self._spawn_invalidation(g, vpn, dst)
                 for g in range(self.config.num_gpus)
             ]
             yield AllOf(self.engine, [host_walk] + acks)
@@ -376,6 +403,34 @@ class UVMDriver:
         self.host_walkers.release()
         return holders
 
+    def _spawn_invalidation(self, gpu_id: int, vpn: int, dst: int) -> Event:
+        """Launch one logical invalidation of ``vpn`` at ``gpu_id``; the
+        returned event fires when the driver holds a (surviving) ack.
+
+        Without fault injection this is the original fire-once round
+        trip — same yields, same trace — plus a pure-bookkeeping ledger
+        entry so the invariant auditor can see the in-flight window.
+        With faults enabled, every invalidation goes through the
+        sequence-numbered retry/timeout protocol instead.
+        """
+        if self.tracker is not None:
+            pending = self.tracker.begin(gpu_id, vpn)
+            return self.engine.process(self._send_invalidation_hardened(pending, dst))
+        key = (gpu_id, vpn)
+        self._inflight_invals[key] = self._inflight_invals.get(key, 0) + 1
+        return self.engine.process(self._send_invalidation_tracked(gpu_id, vpn, dst))
+
+    def _send_invalidation_tracked(self, gpu_id: int, vpn: int, dst: int):
+        try:
+            yield from self._send_invalidation(gpu_id, vpn, dst)
+        finally:
+            key = (gpu_id, vpn)
+            count = self._inflight_invals.get(key, 0) - 1
+            if count <= 0:
+                self._inflight_invals.pop(key, None)
+            else:
+                self._inflight_invals[key] = count
+
     def _send_invalidation(self, gpu_id: int, vpn: int, dst: int):
         """Driver → GPU invalidation round trip (§3.3 steps 2-3)."""
         self.stats.counter("invalidations_sent").add()
@@ -387,6 +442,98 @@ class UVMDriver:
         yield self.interconnect.gpu_to_host(gpu_id, CONTROL_MESSAGE_BYTES)
         if self._tracer.enabled:
             self._tracer.emit("inval.ack", self.name, vpn, gpu=gpu_id)
+
+    # ------------------------------------------------------------------
+    # Hardened invalidation (fault injection active)
+    # ------------------------------------------------------------------
+
+    def _send_invalidation_hardened(self, pending: PendingInvalidation, dst: int):
+        """Sequence-numbered invalidation with timeout + bounded
+        exponential-backoff retry.  Terminates in one of two ways:
+
+        * an ack (from any attempt, however delayed or duplicated)
+          arrives → done;
+        * ``max_retries`` retries all time out → the GPU is marked
+          suspect and the invalidation is abandoned *unacked*; the
+          process then blocks forever, stalling the owning migration so
+          the liveness watchdog converts the loss into a diagnosed
+          abort rather than letting a possibly-stale GPU proceed.
+        """
+        cfg = self.config.faults
+        gpu_id, vpn = pending.gpu_id, pending.vpn
+        self.stats.counter("invalidations_sent").add()
+        if self._tracer.enabled:
+            self._tracer.emit("inval.send", self.name, vpn, gpu=gpu_id, iseq=pending.seq)
+        for attempt in range(cfg.max_retries + 1):
+            pending.attempts = attempt
+            if attempt > 0:
+                self.stats.counter("inval_retries").add()
+                self.tracker.note_retry(gpu_id)
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "inval.retry", self.name, vpn,
+                        gpu=gpu_id, iseq=pending.seq, attempt=attempt,
+                    )
+            self.engine.process(self._invalidation_attempt(pending, dst))
+            deadline = self.engine.timeout(cfg.retry_timeout(attempt))
+            yield AnyOf(self.engine, [pending.acked, deadline])
+            if pending.acked.triggered:
+                if self._tracer.enabled:
+                    self._tracer.emit(
+                        "inval.ack", self.name, vpn,
+                        gpu=gpu_id, iseq=pending.seq, attempt=attempt,
+                    )
+                return
+            self.stats.counter("inval_timeouts").add()
+            if self._tracer.enabled:
+                self._tracer.emit(
+                    "inval.timeout", self.name, vpn,
+                    gpu=gpu_id, iseq=pending.seq, attempt=attempt,
+                )
+        self.tracker.abandon(pending)
+        self.stats.counter("inval_abandoned").add()
+        if self._tracer.enabled:
+            self._tracer.emit("inval.abandon", self.name, vpn, gpu=gpu_id, iseq=pending.seq)
+        # Block forever: completing the migration without this ack could
+        # leave gpu_id serving a stale translation.  The watchdog's ack
+        # deadline (or stall window) turns this into a diagnosed abort.
+        yield pending.acked
+
+    def _invalidation_attempt(self, pending: PendingInvalidation, dst: int):
+        """One request/ack round trip, each leg subject to the injector's
+        drop / delay / duplicate / reorder plan."""
+        plan = self.injector.message_plan("inval_req")
+        if plan.duplicate:
+            copy = self.injector.message_plan("inval_req_copy")
+            self.engine.process(self._invalidation_delivery(pending, dst, copy))
+        yield from self._invalidation_delivery(pending, dst, plan)
+
+    def _invalidation_delivery(self, pending: PendingInvalidation, dst: int, plan):
+        """Deliver one copy of the request packet and carry its ack home."""
+        gpu_id, vpn = pending.gpu_id, pending.vpn
+        if not plan.clean and self._tracer.enabled:
+            self._tracer.emit(
+                "fault.inject", self.name, vpn,
+                gpu=gpu_id, iseq=pending.seq, leg="req", kinds=",".join(plan.kinds),
+            )
+        if plan.drop:
+            return
+        yield self.interconnect.host_to_gpu(gpu_id, CONTROL_MESSAGE_BYTES, plan.delay)
+        ack = self.gpus[gpu_id].receive_invalidation(vpn, dst, seq=pending.seq)
+        yield ack
+        ack_plan = self.injector.message_plan("inval_ack")
+        if not ack_plan.clean and self._tracer.enabled:
+            self._tracer.emit(
+                "fault.inject", self.name, vpn,
+                gpu=gpu_id, iseq=pending.seq, leg="ack", kinds=",".join(ack_plan.kinds),
+            )
+        if ack_plan.drop:
+            return
+        yield self.interconnect.gpu_to_host(gpu_id, CONTROL_MESSAGE_BYTES, ack_plan.delay)
+        self.tracker.deliver_ack(pending)
+        if ack_plan.duplicate:
+            yield self.interconnect.gpu_to_host(gpu_id, CONTROL_MESSAGE_BYTES)
+            self.tracker.deliver_ack(pending)
 
     # ------------------------------------------------------------------
     # Page replication (§7.4)
@@ -414,7 +561,7 @@ class UVMDriver:
             return
         acks = []
         for holder, replica_ppn in replicas.items():
-            acks.append(self.engine.process(self._send_invalidation(holder, vpn, holder)))
+            acks.append(self._spawn_invalidation(holder, vpn, holder))
             self.gpus[holder].memory.free(replica_ppn)
         yield AllOf(self.engine, acks)
         self.stats.counter("replica_collapses").add()

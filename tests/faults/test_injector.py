@@ -1,0 +1,112 @@
+"""Unit tests for the seeded fault injector."""
+
+import pytest
+
+from repro.config import FaultConfig
+from repro.faults.injector import CLEAN_PLAN, FaultInjector
+
+
+def _plans(injector, tag, n=40):
+    return [injector.message_plan(tag) for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_plans(self):
+        config = FaultConfig(drop_rate=0.2, delay_rate=0.3, duplicate_rate=0.1,
+                             reorder_rate=0.1)
+        a = FaultInjector(config, seed=42)
+        b = FaultInjector(config, seed=42)
+        assert _plans(a, "uvm.inval") == _plans(b, "uvm.inval")
+
+    def test_different_seeds_diverge(self):
+        config = FaultConfig(drop_rate=0.5, delay_rate=0.5)
+        a = FaultInjector(config, seed=1)
+        b = FaultInjector(config, seed=2)
+        assert _plans(a, "uvm.inval", 60) != _plans(b, "uvm.inval", 60)
+
+    def test_sites_are_independent_streams(self):
+        """Interleaving draws at one site must not perturb another site's
+        sequence (each tag owns its own RNG stream)."""
+        config = FaultConfig(drop_rate=0.3, delay_rate=0.3, duplicate_rate=0.3)
+        solo = FaultInjector(config, seed=9)
+        expected = _plans(solo, "site.a", 30)
+        mixed = FaultInjector(config, seed=9)
+        got = []
+        for i in range(30):
+            mixed.message_plan("site.b")          # interleaved noise
+            got.append(mixed.message_plan("site.a"))
+            if i % 3 == 0:
+                mixed.walker_stall("site.c")
+        assert got == expected
+
+    def test_rate_change_does_not_shift_other_knobs(self):
+        """Fixed draw count per decision: raising the drop rate must not
+        re-align which calls get delayed/duplicated."""
+        low = FaultInjector(FaultConfig(drop_rate=0.0, duplicate_rate=0.4), seed=5)
+        high = FaultInjector(FaultConfig(drop_rate=0.0001, duplicate_rate=0.4), seed=5)
+        dup_low = [p.duplicate for p in _plans(low, "t", 80)]
+        dup_high = [p.duplicate for p in _plans(high, "t", 80)]
+        assert dup_low == dup_high
+
+
+class TestPlanSemantics:
+    def test_zero_rates_always_clean(self):
+        injector = FaultInjector(FaultConfig(), seed=3)
+        assert all(p is CLEAN_PLAN for p in _plans(injector, "x", 50))
+        assert injector.injected_total() == 0
+
+    def test_drop_rate_one_always_drops(self):
+        injector = FaultInjector(FaultConfig(drop_rate=1.0), seed=3)
+        plans = _plans(injector, "x", 20)
+        assert all(p.drop and p.kinds == ("drop",) for p in plans)
+        assert injector.injected_total() == 20
+
+    def test_drop_dominates_other_faults(self):
+        injector = FaultInjector(
+            FaultConfig(drop_rate=1.0, delay_rate=1.0, duplicate_rate=1.0), seed=3
+        )
+        for plan in _plans(injector, "x", 20):
+            assert plan.drop and plan.delay == 0 and not plan.duplicate
+
+    def test_reorder_uses_upper_half_of_delay_range(self):
+        injector = FaultInjector(
+            FaultConfig(reorder_rate=1.0, delay_max=1000), seed=3
+        )
+        for plan in _plans(injector, "x", 20):
+            assert 501 <= plan.delay <= 1000
+            assert plan.kinds == ("reorder",)
+
+    def test_plain_delay_uses_lower_half(self):
+        injector = FaultInjector(
+            FaultConfig(delay_rate=1.0, delay_max=1000), seed=3
+        )
+        for plan in _plans(injector, "x", 20):
+            assert 1 <= plan.delay <= 500
+
+    def test_clean_property(self):
+        assert CLEAN_PLAN.clean
+        injector = FaultInjector(FaultConfig(duplicate_rate=1.0), seed=3)
+        assert not injector.message_plan("x").clean
+
+
+class TestComponentFaults:
+    def test_walker_stall_rate_one(self):
+        injector = FaultInjector(
+            FaultConfig(walker_stall_rate=1.0, walker_stall_cycles=123), seed=3
+        )
+        assert injector.walker_stall("gmmu0") == 123
+
+    def test_walker_stall_rate_zero(self):
+        injector = FaultInjector(FaultConfig(), seed=3)
+        assert injector.walker_stall("gmmu0") == 0
+
+    def test_irmb_pressure(self):
+        on = FaultInjector(FaultConfig(irmb_pressure_rate=1.0), seed=3)
+        off = FaultInjector(FaultConfig(), seed=3)
+        assert on.irmb_pressure("g0.irmb") is True
+        assert off.irmb_pressure("g0.irmb") is False
+
+    def test_summary_counts_injections(self):
+        injector = FaultInjector(FaultConfig(drop_rate=1.0), seed=3)
+        injector.message_plan("x")
+        assert "drop=1" in injector.summary()

@@ -69,7 +69,7 @@ def test_fixtures_are_valid_jsonl():
 
 
 def test_scenarios_cover_the_headline_mechanisms():
-    """The three fixtures together must exercise the event classes the
+    """The fixtures together must exercise the event classes the
     paper's evaluation rests on (a coverage guard for the harness
     itself — if a scenario stops triggering its mechanism, the golden
     file would still "match" while guarding nothing)."""
@@ -86,6 +86,8 @@ def test_scenarios_cover_the_headline_mechanisms():
         "dir.set", "dir.lookup", "dir.clear",
         "inval.send", "inval.ack",
         "mig.decide", "mig.start", "mig.done",
+        # robustness harness: injected faults and the recovery protocol
+        "fault.inject", "inval.timeout", "inval.retry", "inval.dedup",
     }
     missing = required - events
     assert not missing, f"golden scenarios no longer cover: {sorted(missing)}"

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.config import (
+    ConfigError,
     DirectoryKind,
+    FaultConfig,
     GMMUConfig,
     InterconnectConfig,
     InvalidationScheme,
@@ -100,6 +102,113 @@ class TestVariantBuilders:
         assert hash(a) == hash(b)
         assert a == b
         assert a.with_gpus(8) != a
+
+
+class TestFaultConfig:
+    def test_disabled_by_default(self):
+        faults = FaultConfig()
+        assert not faults.enabled
+        assert not faults.watchdog_active
+        assert not faults.quiesce_audit_active
+
+    def test_any_nonzero_rate_enables(self):
+        assert FaultConfig(drop_rate=0.1).enabled
+        assert FaultConfig(walker_stall_rate=0.1).enabled
+
+    def test_auto_knobs_follow_enabled(self):
+        faults = FaultConfig(drop_rate=0.1)
+        assert faults.watchdog_active
+        assert faults.quiesce_audit_active
+
+    def test_explicit_knobs_override_auto(self):
+        assert FaultConfig(watchdog_enabled=True).watchdog_active
+        assert not FaultConfig(drop_rate=0.1, watchdog_enabled=False).watchdog_active
+        assert FaultConfig(audit_on_quiesce=True).quiesce_audit_active
+
+    def test_retry_timeout_backs_off_exponentially_with_cap(self):
+        faults = FaultConfig(ack_timeout=1000, retry_backoff=2, ack_timeout_max=3000)
+        assert faults.retry_timeout(0) == 1000
+        assert faults.retry_timeout(1) == 2000
+        assert faults.retry_timeout(2) == 3000      # capped
+        assert faults.retry_timeout(5) == 3000
+
+    @pytest.mark.parametrize("bad", [
+        dict(drop_rate=-0.1),
+        dict(delay_rate=1.5),
+        dict(delay_max=0),
+        dict(ack_timeout=0),
+        dict(retry_backoff=0),
+        dict(ack_timeout=5000, ack_timeout_max=100),
+        dict(max_retries=-1),
+        dict(suspect_recovery=0),
+        dict(watchdog_interval=0),
+        dict(watchdog_interval=1000, watchdog_stall_window=500),
+        dict(ack_timeout=5000, ack_deadline=100),
+        dict(audit_interval=-1),
+    ])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            FaultConfig(**bad)
+
+    def test_with_faults_builder(self):
+        config = baseline_config().with_faults(drop_rate=0.2, ack_timeout=2000)
+        assert config.faults.drop_rate == 0.2
+        assert config.faults.ack_timeout == 2000
+        assert config.num_gpus == 4                  # everything else unchanged
+        explicit = baseline_config().with_faults(FaultConfig(delay_rate=0.3))
+        assert explicit.faults.delay_rate == 0.3
+
+    def test_faulted_configs_stay_hashable(self):
+        a = baseline_config().with_faults(drop_rate=0.2)
+        b = baseline_config().with_faults(drop_rate=0.2)
+        assert hash(a) == hash(b) and a == b
+        assert a != baseline_config()
+
+
+class TestFaultSpecParsing:
+    def test_preset_with_overrides(self):
+        from repro.faults.profiles import parse_fault_spec
+
+        faults = parse_fault_spec("light,drop=0.1,ack_timeout=2000")
+        assert faults.drop_rate == 0.1
+        assert faults.ack_timeout == 2000
+
+    def test_presets_exist_and_validate(self):
+        from repro.faults.profiles import FAULT_PRESETS, parse_fault_spec
+
+        for name in FAULT_PRESETS:
+            assert parse_fault_spec(name).enabled
+
+    def test_unknown_preset_rejected(self):
+        from repro.faults.profiles import parse_fault_spec
+
+        with pytest.raises(ConfigError, match="unknown fault preset"):
+            parse_fault_spec("extreme")
+
+    def test_unknown_knob_rejected(self):
+        from repro.faults.profiles import parse_fault_spec
+
+        with pytest.raises(ConfigError, match="unknown fault knob"):
+            parse_fault_spec("light,bogus=1")
+
+    def test_bad_value_rejected(self):
+        from repro.faults.profiles import parse_fault_spec
+
+        with pytest.raises(ConfigError):
+            parse_fault_spec("light,drop=lots")
+
+    def test_out_of_range_override_rejected(self):
+        from repro.faults.profiles import parse_fault_spec
+
+        with pytest.raises(ConfigError):
+            parse_fault_spec("light,drop=2.0")
+
+    def test_aliases(self):
+        from repro.faults.profiles import parse_fault_spec
+
+        faults = parse_fault_spec("light,dup=0.5,stall=0.25")
+        assert faults.duplicate_rate == 0.5
+        assert faults.walker_stall_rate == 0.25
 
 
 class TestInterconnectMath:
