@@ -1,0 +1,262 @@
+"""Pinned benchmark harness: ``python -m repro bench``.
+
+Two tiers:
+
+* **micro** — tight loops over the simulator's hot primitives (event
+  drain, TLB lookup, IRMB probe/merge).  These localise a regression to
+  a subsystem before anyone bisects commit history.
+* **macro** — the canonical end-to-end scenarios the figure suite
+  leans on (PR on 4 GPUs, baseline and IDYLL), at the default trace
+  sizing.  This is the number that tracks what a figure-suite run
+  actually costs.
+
+Each benchmark is deterministic in its workload (fixed sizes, fixed
+seeds); only wall-clock varies between hosts.  Every result is written
+to ``BENCH_<name>.json`` containing the wall time of the best repeat,
+a throughput figure (events or operations per second), and the peak
+RSS of the process so memory regressions surface too.
+
+``--compare DIR`` reloads previously committed ``BENCH_*.json`` files
+and fails (exit 1) when any benchmark's best wall time regressed more
+than ``--threshold`` (default 10%).  Wall times only compare within one
+machine class — CI compares CI-produced baselines, a laptop compares
+laptop runs.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["BENCHMARKS", "run_benchmarks", "compare_benchmarks", "main"]
+
+#: name → builder returning (ops, run_callable); registered below.
+BENCHMARKS: Dict[str, Callable] = {}
+
+
+def _benchmark(name: str):
+    def register(fn):
+        BENCHMARKS[name] = fn
+        return fn
+    return register
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set of this process, in KiB (Linux ru_maxrss unit)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+# ---------------------------------------------------------------------------
+# Micro benchmarks
+# ---------------------------------------------------------------------------
+
+
+@_benchmark("engine_drain")
+def bench_engine_drain(quick: bool = False) -> Dict[str, float]:
+    """Raw event-kernel throughput: interleaved processes yielding a
+    deterministic mix of zero and positive delays."""
+    from .sim.engine import Engine
+
+    n_procs = 50
+    steps = 400 if quick else 4000
+
+    def proc(pid: int):
+        for step in range(steps):
+            yield (pid + step) % 7 + 1
+
+    engine = Engine()
+    for pid in range(n_procs):
+        engine.process(proc(pid))
+    t0 = time.perf_counter()
+    engine.run()
+    wall = time.perf_counter() - t0
+    ops = n_procs * steps
+    return {"wall_s": wall, "ops": ops, "ops_per_s": ops / wall if wall else 0.0}
+
+
+@_benchmark("tlb_lookup")
+def bench_tlb_lookup(quick: bool = False) -> Dict[str, float]:
+    """L2-TLB-geometry lookup/insert loop with a fixed hit/miss mix."""
+    from .config import baseline_config
+    from .tlb.tlb import TLB
+
+    tlb = TLB(baseline_config().l2_tlb, "bench.l2tlb")
+    rounds = 20_000 if quick else 200_000
+    for vpn in range(512):
+        tlb.insert(vpn, vpn + 1)
+    t0 = time.perf_counter()
+    for i in range(rounds):
+        vpn = (i * 11) % 1024  # half resident, half missing
+        if tlb.lookup(vpn) is None:
+            tlb.insert(vpn, vpn + 1)
+    wall = time.perf_counter() - t0
+    return {"wall_s": wall, "ops": rounds, "ops_per_s": rounds / wall if wall else 0.0}
+
+
+@_benchmark("irmb_probe_merge")
+def bench_irmb_probe_merge(quick: bool = False) -> Dict[str, float]:
+    """IRMB insert (merge + evict paths) and demand-miss probes."""
+    from .config import baseline_config
+    from .core.irmb import IRMB
+    from .memory.address import AddressLayout
+
+    config = baseline_config()
+    irmb = IRMB(config.irmb, AddressLayout(config.page_size), "bench.irmb")
+    rounds = 10_000 if quick else 100_000
+    t0 = time.perf_counter()
+    for i in range(rounds):
+        # Stride chosen to exercise merges (same base) and base/offset
+        # evictions (base churn beyond the 32-entry array).
+        vpn = ((i * 7) % 64) << 9 | (i % 16)
+        irmb.insert(vpn)
+        irmb.lookup((i * 13) % (1 << 15))
+    wall = time.perf_counter() - t0
+    ops = rounds * 2
+    return {"wall_s": wall, "ops": ops, "ops_per_s": ops / wall if wall else 0.0}
+
+
+# ---------------------------------------------------------------------------
+# Macro benchmarks — the canonical figure-suite scenarios
+# ---------------------------------------------------------------------------
+
+
+def _macro(app: str, scheme, quick: bool) -> Dict[str, float]:
+    from .config import baseline_config
+    from .experiments.runner import simulate
+
+    config = baseline_config(4).with_scheme(scheme)
+    accesses = 300 if quick else 1200
+    t0 = time.perf_counter()
+    result = simulate(app, config, lanes=4, accesses_per_lane=accesses, seed=7)
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "ops": result.accesses,
+        "ops_per_s": result.accesses / wall if wall else 0.0,
+        "exec_time": result.exec_time,
+    }
+
+
+@_benchmark("macro_pr_baseline")
+def bench_macro_pr_baseline(quick: bool = False) -> Dict[str, float]:
+    """End-to-end: PR on 4 GPUs, baseline broadcast invalidation."""
+    from .config import InvalidationScheme
+
+    return _macro("PR", InvalidationScheme.BROADCAST, quick)
+
+
+@_benchmark("macro_pr_idyll")
+def bench_macro_pr_idyll(quick: bool = False) -> Dict[str, float]:
+    """End-to-end: PR on 4 GPUs, full IDYLL."""
+    from .config import InvalidationScheme
+
+    return _macro("PR", InvalidationScheme.IDYLL, quick)
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+
+def run_benchmarks(
+    names: Optional[List[str]] = None,
+    quick: bool = False,
+    repeat: int = 3,
+    output_dir: Optional[Path] = None,
+) -> Dict[str, dict]:
+    """Run the selected benchmarks; write one ``BENCH_<name>.json`` per
+    benchmark and return the records keyed by name.
+
+    Each benchmark runs ``repeat`` times and keeps the *best* wall time
+    — the repeat least perturbed by scheduler noise — which is the
+    stable statistic for regression comparison.
+    """
+    selected = names if names else sorted(BENCHMARKS)
+    unknown = [n for n in selected if n not in BENCHMARKS]
+    if unknown:
+        raise KeyError(f"unknown benchmark(s) {unknown}; have {sorted(BENCHMARKS)}")
+    output_dir = Path(output_dir) if output_dir is not None else Path.cwd()
+    output_dir.mkdir(parents=True, exist_ok=True)
+
+    records: Dict[str, dict] = {}
+    for name in selected:
+        best: Optional[Dict[str, float]] = None
+        for _ in range(max(1, repeat)):
+            sample = BENCHMARKS[name](quick=quick)
+            if best is None or sample["wall_s"] < best["wall_s"]:
+                best = sample
+        record = {
+            "name": name,
+            "quick": quick,
+            "repeat": repeat,
+            "peak_rss_kb": _peak_rss_kb(),
+            **best,
+        }
+        path = output_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        records[name] = record
+        print(
+            f"{name:<22} {record['wall_s']*1e3:9.1f} ms   "
+            f"{record['ops_per_s']:13,.0f} ops/s   rss {record['peak_rss_kb']:,} KiB"
+        )
+    return records
+
+
+def compare_benchmarks(
+    current: Dict[str, dict],
+    baseline_dir: Path,
+    threshold: float = 0.10,
+) -> List[str]:
+    """Compare ``current`` records against committed ``BENCH_*.json``
+    files; returns human-readable regression messages (empty = pass).
+
+    Benchmarks present on only one side are reported as info, not
+    failures, so adding a benchmark never breaks the comparison that
+    introduces it.
+    """
+    regressions: List[str] = []
+    baseline_dir = Path(baseline_dir)
+    for name, record in sorted(current.items()):
+        path = baseline_dir / f"BENCH_{name}.json"
+        if not path.exists():
+            print(f"{name:<22} no baseline at {path} (skipped)")
+            continue
+        base = json.loads(path.read_text())
+        if bool(base.get("quick")) != bool(record.get("quick")):
+            print(f"{name:<22} baseline sizing differs (quick flag); skipped")
+            continue
+        ratio = record["wall_s"] / base["wall_s"] if base["wall_s"] else 1.0
+        verdict = "ok"
+        if ratio > 1.0 + threshold:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{name}: {record['wall_s']*1e3:.1f} ms vs baseline "
+                f"{base['wall_s']*1e3:.1f} ms ({ratio:.2f}x, limit "
+                f"{1.0 + threshold:.2f}x)"
+            )
+        print(f"{name:<22} {ratio:5.2f}x vs baseline   {verdict}")
+    return regressions
+
+
+def main(args) -> int:
+    """Entry point for the ``repro bench`` CLI subcommand."""
+    names = args.only if args.only else None
+    records = run_benchmarks(
+        names=names,
+        quick=args.quick,
+        repeat=args.repeat,
+        output_dir=Path(args.output_dir),
+    )
+    if args.compare:
+        regressions = compare_benchmarks(
+            records, Path(args.compare), threshold=args.threshold
+        )
+        if regressions:
+            print("\nbenchmark regressions detected:")
+            for message in regressions:
+                print(f"  {message}")
+            return 1
+    return 0

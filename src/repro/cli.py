@@ -141,11 +141,50 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--json", help="also export the series to a JSON file")
     figure.add_argument("--lanes", type=int, default=None)
     figure.add_argument("--accesses", type=int, default=None)
+    figure.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the figure's runs (default: $REPRO_JOBS or 1)",
+    )
+    figure.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk result cache (see $REPRO_CACHE_DIR)",
+    )
 
     trace = sub.add_parser("trace", help="generate and save a workload trace")
     trace.add_argument("app")
     trace.add_argument("output", help="output JSON path")
     add_sim_args(trace)
+
+    bench = sub.add_parser("bench", help="pinned micro/macro performance benchmarks")
+    bench.add_argument(
+        "--quick", action="store_true", help="smaller sizes (CI smoke tier)"
+    )
+    bench.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        help="run only the named benchmarks (see repro.bench.BENCHMARKS)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=3, help="repeats per benchmark; best kept"
+    )
+    bench.add_argument(
+        "--output-dir", default=".", help="where BENCH_<name>.json files go"
+    )
+    bench.add_argument(
+        "--compare",
+        metavar="DIR",
+        help="compare against committed BENCH_*.json files; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="allowed fractional wall-time growth before failing (default 0.10)",
+    )
 
     golden = sub.add_parser("golden", help="golden event-trace fixtures")
     action = golden.add_mutually_exclusive_group(required=True)
@@ -270,8 +309,21 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_figure(args) -> int:
-    runner = ExperimentRunner(lanes=args.lanes, accesses_per_lane=args.accesses)
-    series = FIGURES[args.name](runner)
+    import os
+
+    from .experiments.cache import ResultCache
+    from .experiments.parallel import ParallelRunner
+
+    cache = None
+    if not args.no_cache and os.environ.get("REPRO_CACHE") != "0":
+        cache = ResultCache()
+    runner = ParallelRunner(
+        lanes=args.lanes,
+        accesses_per_lane=args.accesses,
+        jobs=args.jobs,
+        cache=cache,
+    )
+    series = runner.run_figure(FIGURES[args.name])
     apps = sorted({a for values in series.values() for a in values})
     ordered = [a for a in APP_ORDER if a in apps] + [a for a in apps if a not in APP_ORDER]
     print(format_series(args.name, series, ordered))
@@ -355,6 +407,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "bench":
+        from .bench import main as bench_main
+
+        return bench_main(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "golden":

@@ -35,6 +35,8 @@ __all__ = ["IRMB"]
 class IRMB:
     """One GPU's invalidation request merging buffer."""
 
+    __slots__ = ("config", "layout", "name", "stats", "_tracer", "_entries")
+
     def __init__(
         self,
         config: IRMBConfig,
@@ -86,6 +88,8 @@ class IRMB:
         propagated to the page table (empty when the request merged or a
         free entry existed; non-empty on an eviction).
         """
+        tracer = self._tracer
+        traced = tracer.enabled
         base, offset = self._split(vpn)
         evicted: List[int] = []
         entry = self._entries.get(base)
@@ -93,22 +97,22 @@ class IRMB:
             self._entries.move_to_end(base)
             if offset in entry:
                 self.stats.counter("duplicate_inserts").add()
-                if self._tracer.enabled:
-                    self._tracer.emit("irmb.insert", self.name, vpn, kind="duplicate")
+                if traced:
+                    tracer.emit("irmb.insert", self.name, vpn, kind="duplicate")
                 return evicted
             if len(entry) >= self.config.offsets_per_base:
                 # Offset slots full: flush this entry's offsets, keep the base.
                 evicted = [self._vpn(base, o) for o in sorted(entry)]
                 entry.clear()
                 self.stats.counter("offset_evictions").add()
-                if self._tracer.enabled:
-                    self._tracer.emit(
+                if traced:
+                    tracer.emit(
                         "irmb.evict", self.name, kind="offset", base=base, count=len(evicted)
                     )
             entry.add(offset)
             self.stats.counter("merged_inserts").add()
-            if self._tracer.enabled:
-                self._tracer.emit("irmb.insert", self.name, vpn, kind="merge", base=base)
+            if traced:
+                tracer.emit("irmb.insert", self.name, vpn, kind="merge", base=base)
             return evicted
 
         if len(self._entries) >= self.config.bases:
@@ -116,14 +120,14 @@ class IRMB:
             lru_base, lru_offsets = self._entries.popitem(last=False)
             evicted = [self._vpn(lru_base, o) for o in sorted(lru_offsets)]
             self.stats.counter("base_evictions").add()
-            if self._tracer.enabled:
-                self._tracer.emit(
+            if traced:
+                tracer.emit(
                     "irmb.evict", self.name, kind="base", base=lru_base, count=len(evicted)
                 )
         self._entries[base] = {offset}
         self.stats.counter("new_entry_inserts").add()
-        if self._tracer.enabled:
-            self._tracer.emit("irmb.insert", self.name, vpn, kind="new", base=base)
+        if traced:
+            tracer.emit("irmb.insert", self.name, vpn, kind="new", base=base)
         return evicted
 
     # -- lookup (parallel with the L2 TLB, §6.3 "B") ------------------------

@@ -63,8 +63,9 @@ class LazyInvalidationController:
 
     def accept_invalidation(self, vpn: int) -> None:
         """Buffer an invalidation; never blocks the requester."""
-        if self._tracer.enabled:
-            self._tracer.emit("lazy.accept", self.name, vpn)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit("lazy.accept", self.name, vpn)
         evicted = self.irmb.insert(vpn)
         self.stats.counter("accepted").add()
         if evicted:
@@ -80,22 +81,24 @@ class LazyInvalidationController:
         """Cancel the pending invalidation for ``vpn`` — wherever it is —
         because the caller is about to overwrite the PTE with a fresh
         mapping via an UPDATE walk."""
+        tracer = self._tracer
+        traced = tracer.enabled
         removed = self.irmb.remove(vpn)
         if removed:
             self.stats.counter("cancelled_by_mapping").add()
-            if self._tracer.enabled:
-                self._tracer.emit("lazy.cancel", self.name, vpn, where="irmb")
+            if traced:
+                tracer.emit("lazy.cancel", self.name, vpn, where="irmb")
         if vpn in self._queued_for_walk:
             self._cancelled.add(vpn)
             self.stats.counter("cancelled_queued").add()
-            if self._tracer.enabled:
-                self._tracer.emit("lazy.cancel", self.name, vpn, where="queued")
+            if traced:
+                tracer.emit("lazy.cancel", self.name, vpn, where="queued")
         pending = self._inflight_walks.get(vpn)
         if pending is not None:
             pending.aborted = True
             self.stats.counter("aborted_inflight").add()
-            if self._tracer.enabled:
-                self._tracer.emit("lazy.cancel", self.name, vpn, where="inflight")
+            if traced:
+                tracer.emit("lazy.cancel", self.name, vpn, where="inflight")
         return removed
 
     def force_evict(self) -> int:
@@ -130,8 +133,9 @@ class LazyInvalidationController:
         PTE is stale, so the demand miss must bypass the local walk and
         fault to the host directly."""
         hit = self.irmb.lookup(vpn)
-        if self._tracer.enabled:
-            self._tracer.emit("irmb.probe", self.name, vpn, hit=hit)
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit("irmb.probe", self.name, vpn, hit=hit)
         return hit
 
     # -- propagation -----------------------------------------------------------

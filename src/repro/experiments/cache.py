@@ -1,0 +1,164 @@
+"""Persistent, content-addressed result cache.
+
+Simulation runs are pure functions of ``(workload parameters, system
+configuration, simulator code)``: identical inputs always reproduce the
+same :class:`~repro.metrics.collector.SimulationResult`.  That makes
+results safe to memoise *across processes* — a figure suite re-run, a
+parallel sweep, and CI can all share one on-disk cache.
+
+Keys are ``sha256`` digests over a canonical JSON rendering of every
+input that can influence the run, plus a hash of the package's own
+source files.  Any code edit therefore invalidates the whole cache;
+coarse, but always sound, and rebuilding is exactly one figure-suite
+run.
+
+Layout: ``<root>/<key[:2]>/<key>.pkl`` — one pickled ``SimulationResult``
+per entry, written atomically (``os.replace``) so concurrent workers
+racing on the same key can never leave a torn file.
+
+The root directory defaults to ``~/.cache/repro`` (respecting
+``XDG_CACHE_HOME``) and is overridden by ``REPRO_CACHE_DIR``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from ..config import SystemConfig
+from ..metrics.collector import SimulationResult
+
+__all__ = ["ResultCache", "cache_key", "code_version", "default_cache_dir"]
+
+#: memoised per process — the package source does not change mid-run.
+_CODE_VERSION: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def code_version() -> str:
+    """Digest of every ``.py`` file in the ``repro`` package.
+
+    Folding the code into the key means a cache can never serve results
+    produced by a different simulator version — the staleness failure
+    mode that plagues hand-rolled "delete the cache when you remember"
+    schemes.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        digest = hashlib.sha256()
+        package_root = Path(__file__).resolve().parents[1]
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def _jsonify(obj: Any) -> Any:
+    """JSON fallback for config values (str-Enums, mostly)."""
+    value = getattr(obj, "value", None)
+    if value is not None:
+        return value
+    raise TypeError(f"cannot canonicalise {obj!r} for a cache key")
+
+
+def cache_key(
+    app: str,
+    config: SystemConfig,
+    *,
+    scale: float,
+    lanes: int,
+    accesses_per_lane: int,
+    seed: int,
+) -> str:
+    """Stable digest of one run's full input space.
+
+    Uses ``sha256`` over canonical JSON rather than Python's ``hash()``
+    (which is salted per process and therefore useless on disk).
+    """
+    payload = {
+        "app": app,
+        "scale": scale,
+        "lanes": lanes,
+        "accesses_per_lane": accesses_per_lane,
+        "seed": seed,
+        "config": dataclasses.asdict(config),
+        "code": code_version(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=_jsonify)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of pickled :class:`SimulationResult` objects."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Cached result for ``key``, or None (miss *or* unreadable
+        entry — a corrupt file is treated as a miss and overwritten by
+        the next :meth:`put`)."""
+        try:
+            with open(self._path(key), "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store ``result`` atomically; concurrent writers of the same
+        key are benign (last rename wins, both files are identical)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in list(self.root.glob("*/*.pkl")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,184 @@
+"""Parallel sweep execution.
+
+A figure is a grid of independent ``(app, config, scale)`` simulations;
+nothing about them shares state, so they fan out across processes
+perfectly.  :class:`ParallelRunner` is a drop-in
+:class:`~repro.experiments.runner.ExperimentRunner` that adds:
+
+* :meth:`~ParallelRunner.run_many` — execute a grid over a
+  ``multiprocessing`` pool (``spawn`` context: safe on every platform
+  and immune to fork-vs-thread deadlocks), deduplicating repeated
+  requests and filling both the in-memory memo and the on-disk
+  :class:`~repro.experiments.cache.ResultCache`;
+* :meth:`~ParallelRunner.run_figure` — run one figure function with a
+  *discovery pass* first: the figure is executed against a recording
+  runner that hands back placeholder results while noting every run it
+  asks for, the noted grid is executed in parallel, and the figure is
+  then re-run for real against warm caches.
+
+Results are identical to serial execution: workers funnel through the
+same :func:`repro.experiments.runner.simulate` entry point with the
+same explicit parameters, and the simulator is deterministic in those
+parameters.  Worker count comes from ``jobs=``, else ``REPRO_JOBS``,
+else 1 (serial).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..config import SystemConfig
+from ..metrics.collector import SimulationResult
+from . import runner as _runner_mod
+from .cache import ResultCache
+from .runner import ExperimentRunner, _env_int
+
+__all__ = ["ParallelRunner"]
+
+#: one grid entry: (app, config, scale).
+Request = Tuple[str, SystemConfig, float]
+
+
+def _simulate_job(job: Tuple[str, SystemConfig, float, int, int, int]) -> SimulationResult:
+    """Pool worker body: module-level so ``spawn`` can pickle it."""
+    app, config, scale, lanes, accesses_per_lane, seed = job
+    return _runner_mod.simulate(
+        app,
+        config,
+        scale=scale,
+        lanes=lanes,
+        accesses_per_lane=accesses_per_lane,
+        seed=seed,
+    )
+
+
+def _placeholder_result(app: str, config: SystemConfig) -> SimulationResult:
+    """Inert result for the discovery pass; every metric is a harmless
+    non-zero scalar so ratio arithmetic in figure code cannot divide by
+    zero."""
+    return SimulationResult(
+        workload=app,
+        scheme=config.invalidation_scheme.value,
+        num_gpus=config.num_gpus,
+        exec_time=1,
+        instructions=1000,
+        accesses=1,
+    )
+
+
+class _RecordingRunner(ExperimentRunner):
+    """Dry-run runner: notes every requested run, returns placeholders."""
+
+    def __init__(self, template: ExperimentRunner) -> None:
+        super().__init__(
+            lanes=template.lanes,
+            accesses_per_lane=template.accesses_per_lane,
+            seed=template.seed,
+        )
+        self.requests: List[Request] = []
+
+    def run(self, app: str, config: SystemConfig, scale: float = 1.0) -> SimulationResult:
+        self.requests.append((app, config, scale))
+        return _placeholder_result(app, config)
+
+
+class ParallelRunner(ExperimentRunner):
+    """Experiment runner that fans independent runs over worker
+    processes; serial semantics otherwise (same memo, same cache)."""
+
+    def __init__(
+        self,
+        lanes: Optional[int] = None,
+        accesses_per_lane: Optional[int] = None,
+        seed: Optional[int] = None,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        super().__init__(
+            lanes=lanes, accesses_per_lane=accesses_per_lane, seed=seed, cache=cache
+        )
+        self.jobs = jobs if jobs is not None else _env_int("REPRO_JOBS", 1)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    # -- grid execution ------------------------------------------------------
+
+    def run_many(self, requests: Sequence[Request]) -> List[SimulationResult]:
+        """Execute a grid; returns results in request order.
+
+        Already-memoised and disk-cached entries are served without
+        touching the pool; the rest run ``jobs``-wide.  Repeated
+        requests for the same run are simulated exactly once.
+        """
+        requests = [
+            (app, config, scale)
+            for (app, config, *rest) in requests
+            for scale in [rest[0] if rest else 1.0]
+        ]
+        todo: List[Request] = []
+        seen = set()
+        for app, config, scale in requests:
+            key = ("run", app, scale, self.lanes, self.seed,
+                   self._lane_budget(config.num_gpus), config)
+            if key in self._results or key in seen:
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(self.disk_key(app, config, scale))
+                if cached is not None:
+                    self._results[key] = cached
+                    continue
+            seen.add(key)
+            todo.append((app, config, scale))
+
+        if todo:
+            if self.jobs == 1 or len(todo) == 1:
+                fresh = [
+                    _simulate_job(
+                        (app, config, scale, self.lanes, self.accesses_per_lane, self.seed)
+                    )
+                    for app, config, scale in todo
+                ]
+            else:
+                jobs = [
+                    (app, config, scale, self.lanes, self.accesses_per_lane, self.seed)
+                    for app, config, scale in todo
+                ]
+                context = multiprocessing.get_context("spawn")
+                with context.Pool(processes=min(self.jobs, len(jobs))) as pool:
+                    fresh = pool.map(_simulate_job, jobs)
+            for (app, config, scale), result in zip(todo, fresh):
+                key = ("run", app, scale, self.lanes, self.seed,
+                       self._lane_budget(config.num_gpus), config)
+                self._results[key] = result
+                if self.cache is not None:
+                    self.cache.put(self.disk_key(app, config, scale), result)
+
+        # Everything is memoised now; the base run() never simulates.
+        return [super(ParallelRunner, self).run(app, config, scale)
+                for app, config, scale in requests]
+
+    # -- figure orchestration ------------------------------------------------
+
+    def prefetch_figure(
+        self, figure_fn: Callable[[ExperimentRunner], dict]
+    ) -> int:
+        """Discover the grid one figure needs and execute it in
+        parallel; returns the number of distinct runs the figure uses.
+
+        Discovery is best-effort: if the figure's post-processing chokes
+        on placeholder numbers, whatever was recorded up to that point
+        is still prefetched and the real pass runs (serially) as usual.
+        """
+        recorder = _RecordingRunner(self)
+        try:
+            figure_fn(recorder)
+        except Exception:
+            pass
+        self.run_many(recorder.requests)
+        return len(set(recorder.requests))
+
+    def run_figure(self, figure_fn: Callable[[ExperimentRunner], dict]) -> dict:
+        """Run one figure function with a parallel prefetch of its grid."""
+        self.prefetch_figure(figure_fn)
+        return figure_fn(self)

@@ -16,7 +16,7 @@ from typing import List, Optional
 from ..config import GMMUConfig
 from ..memory.page_table import PageTable
 from ..memory.walk_cache import PageWalkCache
-from ..sim.engine import Engine, Event
+from ..sim.engine import Engine, Event, Process
 from ..sim.process import Resource, Store
 from ..sim.stats import StatsGroup
 from .request import WalkKind, WalkRequest
@@ -26,6 +26,13 @@ __all__ = ["GMMU"]
 
 class GMMU:
     """Page-table walking engine of one GPU."""
+
+    __slots__ = (
+        "engine", "config", "page_table", "name", "_injector", "stats",
+        "_tracer", "pwc", "queue", "walkers", "_idle_waiters",
+        "_inval_inflight", "_inval_since", "_inval_busy",
+        "_any_inflight", "_any_since", "_any_busy", "_kind_stats",
+    )
 
     def __init__(
         self,
@@ -56,14 +63,32 @@ class GMMU:
         self._any_inflight = 0
         self._any_since = 0
         self._any_busy = 0
+        # Per-kind stat objects, bound lazily on first use: the f-string
+        # key construction plus StatsGroup dict probe is measurable at
+        # one-per-walk rates.
+        self._kind_stats: dict = {}
         engine.process(self._dispatcher())
+
+    def _stats_for(self, kind: WalkKind) -> tuple:
+        stats = self._kind_stats.get(kind)
+        if stats is None:
+            v = kind.value
+            group = self.stats
+            stats = (
+                group.counter(f"submitted.{v}"),
+                group.latency(f"queue_wait.{v}"),
+                group.latency(f"walk_levels.{v}"),
+                group.latency(f"total.{v}"),
+            )
+            self._kind_stats[kind] = stats
+        return stats
 
     # -- submission --------------------------------------------------------
 
     def submit(self, request: WalkRequest) -> Event:
         """Enqueue a walk; the returned event fires when it is *accepted*
         into the queue (backpressure when the 64-entry queue is full)."""
-        self.stats.counter(f"submitted.{request.kind.value}").add()
+        self._stats_for(request.kind)[0].add()
         if request.kind is WalkKind.INVALIDATE:
             if self._inval_inflight == 0:
                 self._inval_since = self.engine.now
@@ -76,8 +101,9 @@ class GMMU:
     def walk(self, vpn: int, kind: WalkKind, word: Optional[int] = None) -> WalkRequest:
         """Convenience: build, submit, and return a request whose ``done``
         event fires on completion."""
+        engine = self.engine
         request = WalkRequest(
-            vpn=vpn, kind=kind, issued_at=self.engine.now, done=self.engine.event(), word=word
+            vpn=vpn, kind=kind, issued_at=engine._now, done=Event(engine), word=word
         )
         self.submit(request)
         return request
@@ -104,18 +130,23 @@ class GMMU:
         while True:
             request: WalkRequest = yield self.queue.get()
             yield self.walkers.request()
-            self.engine.process(self._walk(request))
+            Process(self.engine, self._walk(request))
 
     def _walk(self, request: WalkRequest):
+        # One tracer-enabled test per call, not one per emission site:
+        # the untraced fast path pays a single branch.
+        tracer = self._tracer
+        traced = tracer.enabled
+        _, lat_queue_wait, lat_levels, lat_total = self._stats_for(request.kind)
         request.started_at = self.engine.now
         queue_wait = request.started_at - request.issued_at
-        self.stats.latency(f"queue_wait.{request.kind.value}").record(queue_wait)
+        lat_queue_wait.record(queue_wait)
 
         if request.aborted:
             # Superseded while queued (a fresh mapping arrived): drop it.
             self.stats.counter("aborted_walks").add()
-            if self._tracer.enabled:
-                self._tracer.emit("walk.abort", self.name, request.vpn, kind=request.kind.value)
+            if traced:
+                tracer.emit("walk.abort", self.name, request.vpn, kind=request.kind.value)
             self.walkers.release()
             self._account_done(request)
             request.done.succeed(None)
@@ -124,23 +155,23 @@ class GMMU:
 
         cached_level = self.pwc.deepest_cached_level(request.vpn)
         levels = self.page_table.walk_levels(request.vpn, cached_level)
-        if self._tracer.enabled:
-            self._tracer.emit(
+        if traced:
+            tracer.emit(
                 "walk.start", self.name, request.vpn,
                 kind=request.kind.value, levels=levels, queue_wait=queue_wait,
             )
         if self._injector is not None:
             stall = self._injector.walker_stall(self.name)
             if stall:
-                if self._tracer.enabled:
-                    self._tracer.emit(
+                if traced:
+                    tracer.emit(
                         "fault.inject", self.name, request.vpn,
                         kind="walker_stall", cycles=stall,
                     )
                 yield stall
         yield levels * self.config.walk_latency_per_level
         self.pwc.fill(request.vpn)
-        self.stats.latency(f"walk_levels.{request.kind.value}").record(levels)
+        lat_levels.record(levels)
 
         if request.kind is WalkKind.DEMAND:
             result = self.page_table.translate(request.vpn)
@@ -163,9 +194,9 @@ class GMMU:
 
         self.walkers.release()
         total = self.engine.now - request.issued_at
-        self.stats.latency(f"total.{request.kind.value}").record(total)
-        if self._tracer.enabled:
-            self._tracer.emit(
+        lat_total.record(total)
+        if traced:
+            tracer.emit(
                 "walk.done", self.name, request.vpn,
                 kind=request.kind.value, levels=levels, cycles=total,
             )

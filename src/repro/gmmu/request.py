@@ -22,7 +22,7 @@ class WalkKind(str, Enum):
     UPDATE = "update"
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkRequest:
     """One unit of work for the page-table walker."""
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterable, Tuple
 
+from ..sim.engine import Process
 from ..sim.process import Resource
 
 __all__ = ["Lane"]
@@ -41,7 +42,7 @@ class Lane:
                 # Fast path: occupancy modelled with one scheduled release.
                 engine.schedule(latency, window.release)
             else:
-                engine.process(self._one_access(vpn, is_write, window))
+                Process(engine, self._one_access(vpn, is_write, window))
         # Drain: reacquire every slot so we return only when all
         # outstanding accesses have completed.
         for _ in range(capacity):
@@ -50,6 +51,6 @@ class Lane:
     def _one_access(self, vpn: int, is_write: bool, window: Resource):
         try:
             yield from self.gpu.access(self.lane_id, vpn, is_write)
-            self.gpu.stats.counter("accesses_completed").add()
+            self.gpu._n_completed.add()
         finally:
             window.release()

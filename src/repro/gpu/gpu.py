@@ -105,6 +105,16 @@ class GPU:
         #: instructions retired (for MPKI); incremented by the lanes.
         self.instructions = 0
 
+        # Hot-path bindings: these run once per simulated memory access,
+        # so config/property hops and StatsGroup dict probes add up.
+        self._l1_latency = config.l1_tlb.lookup_latency
+        self._l2_latency = config.l2_tlb.lookup_latency
+        self._dram_latency = config.dram_latency
+        self._fast_latency = self._l1_latency + config.dram_latency
+        self._n_local = self.stats.counter("local_accesses")
+        self._n_remote = self.stats.counter("remote_accesses")
+        self._n_completed = self.stats.counter("accesses_completed")
+
     # ------------------------------------------------------------------
     # The access pipeline
     # ------------------------------------------------------------------
@@ -130,9 +140,9 @@ class GPU:
         if PhysicalMemory.owner_of(pte_bits.ppn(word)) != self.gpu_id:
             return None
         l1.lookup(vpn)  # record the hit and refresh LRU
-        self.stats.counter("local_accesses").add()
-        self.stats.counter("accesses_completed").add()
-        return l1.lookup_latency + self.config.dram_latency
+        self._n_local.add()
+        self._n_completed.add()
+        return self._fast_latency
 
     def access(self, lane: int, vpn: int, is_write: bool):
         """Full memory access: translate, then perform the data access.
@@ -155,7 +165,7 @@ class GPU:
     def translate(self, lane: int, vpn: int, is_write: bool):
         """Translate ``vpn``; returns the PTE word."""
         l1 = self.l1_tlbs[lane]
-        yield l1.lookup_latency
+        yield self._l1_latency
         word = l1.lookup(vpn)
         if word is not None:
             return word
@@ -166,7 +176,7 @@ class GPU:
         mshr1.allocate(vpn)
 
         # L2 TLB and IRMB are probed in parallel; both fit in the L2 latency.
-        yield self.l2_tlb.lookup_latency
+        yield self._l2_latency
         word = self.l2_tlb.lookup(vpn)
         if word is None:
             word = yield from self._l2_miss(vpn, is_write)
@@ -270,10 +280,10 @@ class GPU:
                 yield self.engine.process(self.driver.collapse_replicas(vpn))
         owner = PhysicalMemory.owner_of(pte_bits.ppn(word))
         if owner == self.gpu_id:
-            self.stats.counter("local_accesses").add()
-            yield self.config.dram_latency
+            self._n_local.add()
+            yield self._dram_latency
             return
-        self.stats.counter("remote_accesses").add()
+        self._n_remote.add()
         self.driver.note_remote_access(self.gpu_id, vpn)
         yield self.interconnect.gpu_to_gpu(self.gpu_id, owner, CONTROL_MESSAGE_BYTES)
         yield self.config.dram_latency

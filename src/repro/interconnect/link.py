@@ -9,7 +9,7 @@ page transfers occupy the link for ``page_size / bandwidth``.
 
 from __future__ import annotations
 
-from ..sim.engine import Engine, Event
+from ..sim.engine import Engine, Event, Process
 from ..sim.process import Resource
 from ..sim.stats import StatsGroup
 
@@ -21,6 +21,11 @@ CONTROL_MESSAGE_BYTES = 64
 
 class Link:
     """One direction of a link; create two for full duplex."""
+
+    __slots__ = (
+        "engine", "bandwidth_gbps", "latency", "clock_ghz", "stats", "_port",
+        "_n_transfers", "_n_bytes", "_t_transfer", "_ser_cache",
+    )
 
     def __init__(
         self,
@@ -38,9 +43,20 @@ class Link:
         self.clock_ghz = clock_ghz
         self.stats = StatsGroup(name)
         self._port = Resource(engine, 1)
+        # Bound once: these fire on every transfer, and payload sizes come
+        # from a tiny set (control packet, cache line, page), so the
+        # serialisation maths caches perfectly.
+        self._n_transfers = self.stats.counter("transfers")
+        self._n_bytes = self.stats.counter("bytes")
+        self._t_transfer = self.stats.latency("transfer_time")
+        self._ser_cache: dict = {}
 
     def serialisation_cycles(self, num_bytes: int) -> int:
-        return max(1, round(num_bytes / self.bandwidth_gbps * self.clock_ghz))
+        cycles = self._ser_cache.get(num_bytes)
+        if cycles is None:
+            cycles = max(1, round(num_bytes / self.bandwidth_gbps * self.clock_ghz))
+            self._ser_cache[num_bytes] = cycles
+        return cycles
 
     def transfer(self, num_bytes: int, extra_delay: int = 0) -> Event:
         """Start a transfer; the event fires when the payload has fully
@@ -50,22 +66,29 @@ class Link:
         port — the fault injector's knob for delaying (and, with a large
         enough value, reordering) individual packets on the wire.
         """
-        done = self.engine.event()
-        self.engine.process(self._transfer(num_bytes, done, extra_delay))
+        done = Event(self.engine)
+        Process(self.engine, self._transfer(num_bytes, done, extra_delay))
         return done
 
     def _transfer(self, num_bytes: int, done: Event, extra_delay: int = 0):
+        # Positive delays yield bare ints (the process fast path — no
+        # Timeout/Event allocation per hop); a zero latency must still
+        # defer through the ready queue exactly as a Timeout(0) would.
         if extra_delay:
             self.stats.counter("delayed_transfers").add()
-            yield self.engine.timeout(extra_delay)
+            yield extra_delay
         t0 = self.engine.now
         yield self._port.request()
-        yield self.engine.timeout(self.serialisation_cycles(num_bytes))
+        yield self.serialisation_cycles(num_bytes)
         self._port.release()
-        yield self.engine.timeout(self.latency)
-        self.stats.counter("transfers").add()
-        self.stats.counter("bytes").add(num_bytes)
-        self.stats.latency("transfer_time").record(self.engine.now - t0)
+        latency = self.latency
+        if latency > 0:
+            yield latency
+        else:
+            yield self.engine.timeout(0)
+        self._n_transfers.add()
+        self._n_bytes.add(num_bytes)
+        self._t_transfer.record(self.engine.now - t0)
         done.succeed()
 
     def send_control(self) -> Event:

@@ -21,6 +21,11 @@ from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from .trace import NULL_TRACER
 
+# Bound once at import: the drain loop and the scheduling fast paths call
+# these hundreds of thousands of times per simulated millisecond.
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 __all__ = [
     "Engine",
     "Event",
@@ -67,6 +72,8 @@ class Interrupt(Exception):
 class Engine:
     """The event calendar and simulation clock."""
 
+    __slots__ = ("_now", "_heap", "_ready", "_seq", "_running", "tracer")
+
     def __init__(self, tracer=None) -> None:
         self._now = 0
         self._heap: List[tuple] = []
@@ -101,7 +108,7 @@ class Engine:
             self._ready.append((fn, args))
             return
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, fn, args))
+        _heappush(self._heap, (self._now + delay, self._seq, fn, args))
 
     def event(self) -> "Event":
         """Create a fresh one-shot event bound to this engine."""
@@ -120,32 +127,59 @@ class Engine:
 
         If ``until`` is given, stops once the clock would pass it (the
         clock is left at ``until``).
+
+        The unbounded case runs a dedicated fast loop with no deadline
+        test per event; bounded runs take the slow loop.  Both drain
+        events in exactly the same order.
         """
         if self._running:
             raise SimulationError("engine is already running")
         self._running = True
-        ready = self._ready
-        heap = self._heap
-        pop = heapq.heappop
         try:
-            while ready or heap:
-                while ready:
-                    fn, args = ready.popleft()
-                    fn(*args)
-                if not heap:
-                    break
-                when, _seq, fn, args = heap[0]
-                if until is not None and when > until:
-                    self._now = until
-                    return self._now
-                pop(heap)
-                self._now = when
-                fn(*args)
-            if until is not None and until > self._now:
-                self._now = until
-            return self._now
+            if until is None:
+                return self._drain_fast()
+            return self._drain_until(until)
         finally:
             self._running = False
+
+    def _drain_fast(self) -> int:
+        """Unbounded drain: the hot loop, every lookup a local."""
+        ready = self._ready
+        popleft = ready.popleft
+        heap = self._heap
+        pop = _heappop
+        while ready or heap:
+            while ready:
+                fn, args = popleft()
+                fn(*args)
+            if not heap:
+                break
+            when, _seq, fn, args = pop(heap)
+            self._now = when
+            fn(*args)
+        return self._now
+
+    def _drain_until(self, until: int) -> int:
+        """Bounded drain: one extra deadline comparison per heap event."""
+        ready = self._ready
+        popleft = ready.popleft
+        heap = self._heap
+        pop = _heappop
+        while ready or heap:
+            while ready:
+                fn, args = popleft()
+                fn(*args)
+            if not heap:
+                break
+            if heap[0][0] > until:
+                self._now = until
+                return until
+            when, _seq, fn, args = pop(heap)
+            self._now = when
+            fn(*args)
+        if until > self._now:
+            self._now = until
+        return self._now
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next pending event, or None if idle."""
@@ -183,9 +217,13 @@ class Event:
         self._triggered = True
         self._value = value
         callbacks, self._callbacks = self._callbacks, None
-        assert callbacks is not None
-        for cb in callbacks:
-            self.engine.schedule(0, cb, self)
+        if callbacks:
+            # Equivalent to engine.schedule(0, cb, self) per callback,
+            # without the per-callback delay test and call overhead.
+            append = self.engine._ready.append
+            args = (self,)
+            for cb in callbacks:
+                append((cb, args))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -196,17 +234,20 @@ class Event:
         self._value = exc
         self._ok = False
         callbacks, self._callbacks = self._callbacks, None
-        assert callbacks is not None
-        for cb in callbacks:
-            self.engine.schedule(0, cb, self)
+        if callbacks:
+            append = self.engine._ready.append
+            args = (self,)
+            for cb in callbacks:
+                append((cb, args))
         return self
 
     def add_callback(self, cb: Callable[["Event"], None]) -> None:
         """Invoke ``cb(event)`` when the event fires (immediately if fired)."""
-        if self._callbacks is None:
-            self.engine.schedule(0, cb, self)
+        callbacks = self._callbacks
+        if callbacks is None:
+            self.engine._ready.append((cb, (self,)))
         else:
-            self._callbacks.append(cb)
+            callbacks.append(cb)
 
 
 class Timeout(Event):
@@ -215,9 +256,19 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, engine: Engine, delay: int, value: Any = None) -> None:
-        super().__init__(engine)
+        # Flattened Event.__init__ plus an inlined schedule: Timeouts are
+        # created once per modelled latency hop, so the constructor is hot.
+        self.engine = engine
+        self._callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
         self.delay = delay
-        engine.schedule(delay, self._fire, value)
+        if delay > 0:
+            engine._seq += 1
+            _heappush(engine._heap, (engine._now + delay, engine._seq, self._fire, (value,)))
+        else:
+            engine.schedule(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
         self.succeed(value)
@@ -346,10 +397,16 @@ class Process(Event):
     __slots__ = ("_gen", "_waiting_on")
 
     def __init__(self, engine: Engine, generator: Generator) -> None:
-        super().__init__(engine)
+        # Flattened Event.__init__; processes are spawned per access on
+        # the slow path, so construction cost shows up in every run.
+        self.engine = engine
+        self._callbacks = []
+        self._value = None
+        self._ok = True
+        self._triggered = False
         self._gen = generator
         self._waiting_on: Optional[Event] = None
-        engine.schedule(0, self._resume, None, None)
+        engine._ready.append((self._resume, (None, None)))
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
@@ -361,7 +418,7 @@ class Process(Event):
             if target._callbacks is not None and self._on_wait_done in target._callbacks:
                 target._callbacks.remove(self._on_wait_done)
         self._waiting_on = None
-        self.engine.schedule(0, self._resume, None, Interrupt(cause))
+        self.engine._ready.append((self._resume, (None, Interrupt(cause))))
 
     def _on_wait_done(self, ev: Event) -> None:
         self._waiting_on = None
@@ -390,9 +447,18 @@ class Process(Event):
                 return
             # Fast path: ``yield <int>`` is a bare timeout — no Event object.
             if type(target) is int:
+                if target > 0:
+                    engine = self.engine
+                    engine._seq += 1
+                    _heappush(
+                        engine._heap,
+                        (engine._now + target, engine._seq, self._resume, (None, None)),
+                    )
+                    return
                 if target == 0:
                     value = None
                     continue
+                # Negative delay: delegate for the canonical error.
                 self.engine.schedule(target, self._resume, None, None)
                 return
             if not isinstance(target, Event):

@@ -23,6 +23,8 @@ __all__ = ["Resource", "Store", "Gate"]
 class Resource:
     """A pool of ``capacity`` identical servers with a FIFO wait queue."""
 
+    __slots__ = ("engine", "capacity", "_in_use", "_waiters")
+
     def __init__(self, engine: Engine, capacity: int) -> None:
         if capacity < 1:
             raise SimulationError("Resource capacity must be >= 1")
@@ -45,7 +47,7 @@ class Resource:
 
     def request(self) -> Event:
         """Returns an event that fires when a server is granted."""
-        ev = self.engine.event()
+        ev = Event(self.engine)
         if self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed()
@@ -67,6 +69,8 @@ class Resource:
 class Store:
     """A FIFO of items; ``get`` waits for an item, ``put`` may wait for room."""
 
+    __slots__ = ("engine", "capacity", "_items", "_getters", "_putters")
+
     def __init__(self, engine: Engine, capacity: Optional[int] = None) -> None:
         self.engine = engine
         self.capacity = capacity
@@ -83,7 +87,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Returns an event that fires once the item is accepted."""
-        ev = self.engine.event()
+        ev = Event(self.engine)
         if self._getters:
             self._getters.popleft().succeed(item)
             ev.succeed()
@@ -117,7 +121,7 @@ class Store:
 
     def get(self) -> Event:
         """Returns an event that fires with the next item."""
-        ev = self.engine.event()
+        ev = Event(self.engine)
         if self._items:
             ev.succeed(self._items.popleft())
             if self._putters:
@@ -131,6 +135,8 @@ class Store:
 
 class Gate:
     """A reusable barrier: when closed, waiters block until re-opened."""
+
+    __slots__ = ("engine", "_open", "_waiters")
 
     def __init__(self, engine: Engine, open_: bool = True) -> None:
         self.engine = engine
@@ -153,7 +159,7 @@ class Gate:
 
     def wait(self) -> Event:
         """Event that fires immediately if open, else when next opened."""
-        ev = self.engine.event()
+        ev = Event(self.engine)
         if self._open:
             ev.succeed()
         else:

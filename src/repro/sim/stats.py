@@ -93,6 +93,8 @@ class Histogram:
 class StatsGroup:
     """A named bag of counters / latency stats / histograms."""
 
+    __slots__ = ("name", "counters", "latencies", "histograms")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.counters: Dict[str, Counter] = {}

@@ -21,6 +21,8 @@ __all__ = ["MSHR"]
 class MSHR:
     """Coalescing miss tracker keyed by VPN."""
 
+    __slots__ = ("engine", "stats", "_pending")
+
     def __init__(self, engine: Engine, name: str = "mshr") -> None:
         self.engine = engine
         self.stats = StatsGroup(name)
@@ -50,7 +52,7 @@ class MSHR:
         """Event fired (with the fill value) when the primary completes."""
         if vpn not in self._pending:
             raise KeyError(f"no outstanding miss for VPN {vpn:#x}")
-        ev = self.engine.event()
+        ev = Event(self.engine)
         self._pending[vpn].append(ev)
         self.stats.counter("coalesced_misses").add()
         return ev

@@ -22,6 +22,11 @@ __all__ = ["TLB"]
 class TLB:
     """One TLB level: ``sets`` LRU sets of ``associativity`` ways."""
 
+    __slots__ = (
+        "config", "name", "stats", "_tracer", "_sets",
+        "_hits", "_misses", "_evictions", "_shootdowns",
+    )
+
     def __init__(self, config: TLBConfig, name: str = "tlb", tracer=NULL_TRACER) -> None:
         self.config = config
         self.name = name
@@ -30,6 +35,12 @@ class TLB:
         self._sets: List["OrderedDict[int, int]"] = [
             OrderedDict() for _ in range(config.sets)
         ]
+        # Counters pre-bound once: lookup() runs per memory access, so the
+        # per-call StatsGroup dict lookup is worth removing.
+        self._hits = self.stats.counter("hits")
+        self._misses = self.stats.counter("misses")
+        self._evictions = self.stats.counter("evictions")
+        self._shootdowns = self.stats.counter("shootdowns")
 
     def _set_for(self, vpn: int) -> "OrderedDict[int, int]":
         return self._sets[vpn % self.config.sets]
@@ -40,17 +51,18 @@ class TLB:
 
     def lookup(self, vpn: int) -> Optional[int]:
         """PTE word on hit (refreshing LRU), None on miss."""
-        entry_set = self._set_for(vpn)
+        tracer = self._tracer
+        entry_set = self._sets[vpn % self.config.sets]
         word = entry_set.get(vpn)
         if word is None:
-            self.stats.counter("misses").add()
-            if self._tracer.enabled:
-                self._tracer.emit("tlb.miss", self.name, vpn)
+            self._misses.add()
+            if tracer.enabled:
+                tracer.emit("tlb.miss", self.name, vpn)
             return None
         entry_set.move_to_end(vpn)
-        self.stats.counter("hits").add()
-        if self._tracer.enabled:
-            self._tracer.emit("tlb.hit", self.name, vpn)
+        self._hits.add()
+        if tracer.enabled:
+            tracer.emit("tlb.hit", self.name, vpn)
         return word
 
     def probe(self, vpn: int) -> bool:
@@ -62,6 +74,7 @@ class TLB:
         return self._set_for(vpn).get(vpn)
 
     def insert(self, vpn: int, word: int) -> None:
+        tracer = self._tracer
         entry_set = self._set_for(vpn)
         if vpn in entry_set:
             entry_set[vpn] = word
@@ -69,21 +82,22 @@ class TLB:
             return
         if len(entry_set) >= self.config.associativity:
             victim, _ = entry_set.popitem(last=False)
-            self.stats.counter("evictions").add()
-            if self._tracer.enabled:
-                self._tracer.emit("tlb.evict", self.name, victim)
+            self._evictions.add()
+            if tracer.enabled:
+                tracer.emit("tlb.evict", self.name, victim)
         entry_set[vpn] = word
-        if self._tracer.enabled:
-            self._tracer.emit("tlb.fill", self.name, vpn)
+        if tracer.enabled:
+            tracer.emit("tlb.fill", self.name, vpn)
 
     def shootdown(self, vpn: int) -> bool:
         """Invalidate one translation; True iff it was present."""
         entry_set = self._set_for(vpn)
         if vpn in entry_set:
             del entry_set[vpn]
-            self.stats.counter("shootdowns").add()
-            if self._tracer.enabled:
-                self._tracer.emit("tlb.shootdown", self.name, vpn)
+            self._shootdowns.add()
+            tracer = self._tracer
+            if tracer.enabled:
+                tracer.emit("tlb.shootdown", self.name, vpn)
             return True
         return False
 

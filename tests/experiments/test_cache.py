@@ -1,0 +1,107 @@
+"""Content-addressed result cache: keys, round-trips, corruption."""
+
+import pickle
+from dataclasses import asdict
+
+import pytest
+
+from repro.config import InvalidationScheme, SystemConfig, baseline_config
+from repro.experiments.cache import ResultCache, cache_key, code_version
+from repro.metrics.collector import SimulationResult
+
+KEY_ARGS = dict(scale=1.0, lanes=2, accesses_per_lane=120, seed=7)
+
+
+class TestCacheKey:
+    def test_stable_within_process(self):
+        config = baseline_config(2)
+        assert cache_key("PR", config, **KEY_ARGS) == cache_key("PR", config, **KEY_ARGS)
+
+    def test_is_hex_sha256(self):
+        key = cache_key("PR", baseline_config(2), **KEY_ARGS)
+        assert len(key) == 64
+        int(key, 16)  # raises if not hex
+
+    def test_sensitive_to_every_input(self):
+        config = baseline_config(2)
+        base = cache_key("PR", config, **KEY_ARGS)
+        assert cache_key("SC", config, **KEY_ARGS) != base
+        assert cache_key("PR", config.with_scheme(InvalidationScheme.IDYLL), **KEY_ARGS) != base
+        for field, value in [
+            ("scale", 2.0), ("lanes", 4), ("accesses_per_lane", 200), ("seed", 13),
+        ]:
+            args = {**KEY_ARGS, field: value}
+            assert cache_key("PR", config, **args) != base, field
+
+    def test_code_version_stable(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+
+class TestResultCacheStore:
+    def _result(self) -> SimulationResult:
+        return SimulationResult(
+            workload="PR", scheme="idyll", num_gpus=2, exec_time=1234, accesses=5,
+        )
+
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("PR", baseline_config(2), **KEY_ARGS)
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        cache.put(key, self._result())
+        fetched = cache.get(key)
+        assert fetched is not None
+        assert asdict(fetched) == asdict(self._result())
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("PR", baseline_config(2), **KEY_ARGS)
+        cache.put(key, self._result())
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+        # And a subsequent put repairs it.
+        cache.put(key, self._result())
+        assert cache.get(key) is not None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in (1, 2, 3):
+            key = cache_key("PR", baseline_config(2), **{**KEY_ARGS, "seed": seed})
+            cache.put(key, self._result())
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_respects_repro_cache_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        cache = ResultCache()
+        assert cache.root == tmp_path / "elsewhere"
+
+
+class TestPicklability:
+    """The cache and the spawn-based pool both require these round-trips."""
+
+    def test_system_config_pickle_roundtrip(self):
+        config = baseline_config(4).with_scheme(InvalidationScheme.IDYLL)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert hash(clone) == hash(config)
+        assert isinstance(clone, SystemConfig)
+        assert clone.invalidation_scheme is InvalidationScheme.IDYLL
+
+    def test_simulation_result_pickle_roundtrip(self):
+        result = SimulationResult(
+            workload="PR", scheme="idyll", num_gpus=4,
+            exec_time=999, accesses=17, extras={"k": 1.5},
+        )
+        clone = pickle.loads(pickle.dumps(result))
+        assert asdict(clone) == asdict(result)
+
+    def test_config_usable_as_dict_key_after_roundtrip(self):
+        config = baseline_config(2)
+        memo = {config: "hit"}
+        assert memo[pickle.loads(pickle.dumps(config))] == "hit"

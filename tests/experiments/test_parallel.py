@@ -1,0 +1,120 @@
+"""Parallel sweep runner: serial equivalence, dedup, figure prefetch."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.config import InvalidationScheme, baseline_config
+from repro.experiments import figures
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ParallelRunner, _RecordingRunner
+from repro.experiments.runner import ExperimentRunner
+
+SIZES = dict(lanes=2, accesses_per_lane=120, seed=7)
+
+#: three canonical scenarios: baseline, full IDYLL, lazy-only.
+SCENARIOS = [
+    ("PR", baseline_config(2)),
+    ("PR", baseline_config(2).with_scheme(InvalidationScheme.IDYLL)),
+    ("SC", baseline_config(2).with_scheme(InvalidationScheme.LAZY)),
+]
+
+
+class TestSerialParallelEquivalence:
+    def test_parallel_matches_serial(self, monkeypatch):
+        """Worker processes must reproduce serial results exactly."""
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        serial = ExperimentRunner(**SIZES)
+        expected = [serial.run(app, config) for app, config in SCENARIOS]
+
+        parallel = ParallelRunner(**SIZES)  # jobs from REPRO_JOBS
+        assert parallel.jobs == 4
+        actual = parallel.run_many([(app, config) for app, config in SCENARIOS])
+
+        assert len(actual) == len(expected)
+        for got, want in zip(actual, expected):
+            assert asdict(got) == asdict(want)
+
+    def test_run_many_serial_path_matches_run(self):
+        runner = ParallelRunner(jobs=1, **SIZES)
+        (via_many,) = runner.run_many([SCENARIOS[0]])
+        direct = ExperimentRunner(**SIZES).run(*SCENARIOS[0])
+        assert asdict(via_many) == asdict(direct)
+
+
+class TestRunManyBehaviour:
+    def test_duplicate_requests_simulated_once(self, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        calls = []
+        real = runner_mod.simulate
+
+        def counting(app, config, scale=1.0, **kwargs):
+            calls.append((app, config, scale))
+            return real(app, config, scale, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "simulate", counting)
+        # Jobs=1 keeps execution in-process so the counter is visible.
+        runner = ParallelRunner(jobs=1, **SIZES)
+        app, config = SCENARIOS[0]
+        results = runner.run_many([(app, config), (app, config), (app, config)])
+        assert len(calls) == 1
+        assert len(results) == 3
+        assert asdict(results[0]) == asdict(results[2])
+
+    def test_memoised_results_not_resimulated(self, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        runner = ParallelRunner(jobs=1, **SIZES)
+        app, config = SCENARIOS[0]
+        first = runner.run(app, config)
+
+        def boom(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("simulate() called despite warm memo")
+
+        monkeypatch.setattr(runner_mod, "simulate", boom)
+        (again,) = runner.run_many([(app, config)])
+        assert again is first
+
+    def test_rejects_bad_job_count(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=0, **SIZES)
+
+
+class TestFigurePrefetch:
+    def test_recording_runner_collects_grid(self):
+        template = ExperimentRunner(**SIZES)
+        recorder = _RecordingRunner(template)
+        figures.fig01_invalidation_overhead(recorder)
+        assert recorder.requests, "figure asked for no runs?"
+        apps = {app for app, _config, _scale in recorder.requests}
+        assert apps  # all requests well-formed
+
+    def test_run_figure_matches_direct_call(self):
+        direct = figures.fig01_invalidation_overhead(ExperimentRunner(**SIZES))
+        parallel = ParallelRunner(jobs=1, **SIZES)
+        via_prefetch = parallel.run_figure(figures.fig01_invalidation_overhead)
+        assert via_prefetch == direct
+
+
+class TestDiskCache:
+    def test_second_runner_served_from_disk(self, tmp_path, monkeypatch):
+        """A fresh runner with a warm disk cache must not simulate."""
+        import repro.experiments.runner as runner_mod
+
+        app, config = SCENARIOS[1]
+        warm = ExperimentRunner(cache=ResultCache(tmp_path), **SIZES)
+        first = warm.run(app, config)
+        assert len(warm.cache) == 1
+
+        def boom(*args, **kwargs):  # pragma: no cover - should not run
+            raise AssertionError("simulate() called despite warm disk cache")
+
+        monkeypatch.setattr(runner_mod, "simulate", boom)
+        cold = ExperimentRunner(cache=ResultCache(tmp_path), **SIZES)
+        second = cold.run(app, config)
+        assert asdict(second) == asdict(first)
+        assert cold.cache.hits == 1
+
+    def test_cache_disabled_by_default(self):
+        assert ExperimentRunner(**SIZES).cache is None

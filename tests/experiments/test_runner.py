@@ -1,12 +1,33 @@
 """Unit tests for the experiment runner and a fast figure-function check."""
 
+import warnings
+
+import pytest
+
 from repro.config import InvalidationScheme, baseline_config
 from repro.experiments import figures
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, _env_int, lane_budget
 
 
 def small_runner():
     return ExperimentRunner(lanes=2, accesses_per_lane=150, seed=7)
+
+
+class TestEnvInt:
+    def test_valid_value_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LANES", "9")
+        assert _env_int("REPRO_LANES", 4) == 9
+
+    def test_unset_returns_default_silently(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LANES", raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _env_int("REPRO_LANES", 4) == 4
+
+    def test_malformed_value_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LANES", "four")
+        with pytest.warns(RuntimeWarning, match="REPRO_LANES"):
+            assert _env_int("REPRO_LANES", 4) == 4
 
 
 class TestRunnerCaching:
@@ -48,6 +69,8 @@ class TestRunnerCaching:
         assert runner._lane_budget(8) == 1000
         assert runner._lane_budget(16) == 500
         assert runner._lane_budget(32) == 250
+        # The module-level function is the same computation.
+        assert lane_budget(1000, 16) == 500
 
 
 class TestFigureFunctions:

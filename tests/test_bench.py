@@ -1,0 +1,98 @@
+"""Benchmark harness: emission, schema, and regression comparison."""
+
+import json
+
+import pytest
+
+from repro.bench import BENCHMARKS, compare_benchmarks, run_benchmarks
+
+REQUIRED_KEYS = {"name", "wall_s", "ops", "ops_per_s", "peak_rss_kb", "quick"}
+
+
+class TestRunBenchmarks:
+    def test_emits_json_with_schema(self, tmp_path):
+        records = run_benchmarks(
+            names=["engine_drain", "tlb_lookup"], quick=True, repeat=1,
+            output_dir=tmp_path,
+        )
+        for name in ("engine_drain", "tlb_lookup"):
+            path = tmp_path / f"BENCH_{name}.json"
+            assert path.exists()
+            record = json.loads(path.read_text())
+            assert REQUIRED_KEYS <= set(record)
+            assert record["name"] == name
+            assert record["wall_s"] > 0
+            assert record["ops_per_s"] > 0
+            assert record["peak_rss_kb"] > 0
+            assert record == records[name]
+
+    def test_unknown_benchmark_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_benchmarks(names=["nope"], output_dir=tmp_path)
+
+    def test_registry_has_micro_and_macro(self):
+        assert {"engine_drain", "tlb_lookup", "irmb_probe_merge"} <= set(BENCHMARKS)
+        assert any(name.startswith("macro_") for name in BENCHMARKS)
+
+
+class TestCompareBenchmarks:
+    def _record(self, name, wall_s, quick=True):
+        return {
+            "name": name, "wall_s": wall_s, "ops": 100,
+            "ops_per_s": 100 / wall_s, "peak_rss_kb": 1, "quick": quick,
+        }
+
+    def _write_baseline(self, tmp_path, record):
+        (tmp_path / f"BENCH_{record['name']}.json").write_text(json.dumps(record))
+
+    def test_within_threshold_passes(self, tmp_path):
+        self._write_baseline(tmp_path, self._record("engine_drain", 1.0))
+        current = {"engine_drain": self._record("engine_drain", 1.05)}
+        assert compare_benchmarks(current, tmp_path, threshold=0.10) == []
+
+    def test_regression_detected(self, tmp_path):
+        self._write_baseline(tmp_path, self._record("engine_drain", 1.0))
+        current = {"engine_drain": self._record("engine_drain", 1.25)}
+        messages = compare_benchmarks(current, tmp_path, threshold=0.10)
+        assert len(messages) == 1
+        assert "engine_drain" in messages[0]
+
+    def test_missing_baseline_is_not_a_failure(self, tmp_path):
+        current = {"engine_drain": self._record("engine_drain", 1.0)}
+        assert compare_benchmarks(current, tmp_path) == []
+
+    def test_mismatched_sizing_skipped(self, tmp_path):
+        self._write_baseline(tmp_path, self._record("engine_drain", 0.1, quick=False))
+        current = {"engine_drain": self._record("engine_drain", 1.0, quick=True)}
+        assert compare_benchmarks(current, tmp_path) == []
+
+
+class TestCliIntegration:
+    def test_bench_subcommand_quick(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "bench", "--quick", "--repeat", "1",
+            "--only", "engine_drain", "--output-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert (tmp_path / "BENCH_engine_drain.json").exists()
+
+    def test_bench_compare_regression_exit_code(self, tmp_path):
+        from repro.cli import main
+
+        out1 = tmp_path / "base"
+        code = main([
+            "bench", "--quick", "--repeat", "1",
+            "--only", "engine_drain", "--output-dir", str(out1),
+        ])
+        assert code == 0
+        # Forge an impossibly fast baseline: the live run must "regress".
+        record = json.loads((out1 / "BENCH_engine_drain.json").read_text())
+        record["wall_s"] = record["wall_s"] / 100
+        (out1 / "BENCH_engine_drain.json").write_text(json.dumps(record))
+        code = main([
+            "bench", "--quick", "--repeat", "1", "--only", "engine_drain",
+            "--output-dir", str(tmp_path / "cur"), "--compare", str(out1),
+        ])
+        assert code == 1
