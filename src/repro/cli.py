@@ -80,6 +80,12 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--lanes", type=int, default=4)
         p.add_argument("--accesses", type=int, default=1200, help="per lane")
         p.add_argument("--seed", type=int, default=7)
+        p.add_argument(
+            "--no-fastpath",
+            action="store_true",
+            help="disable the batched replay fast path (pure event engine; "
+            "results are identical either way)",
+        )
 
     run = sub.add_parser("run", help="simulate one application")
     run.add_argument("app", help=f"one of {APP_ORDER} or a DNN model")
@@ -180,6 +186,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compare against committed BENCH_*.json files; exit 1 on regression",
     )
     bench.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="also run each selected benchmark once under cProfile and "
+        "write the top-25 cumulative-time functions to FILE",
+    )
+    bench.add_argument(
         "--threshold",
         type=float,
         default=0.10,
@@ -231,6 +243,8 @@ def _cmd_run(args) -> int:
     runner = _runner_for(args)
     config = baseline_config(args.gpus).with_scheme(InvalidationScheme(args.scheme))
     config = config.with_policy(MigrationPolicy(args.policy))
+    if args.no_fastpath:
+        config = config.with_fastpath(False)
     if args.faults:
         from .config import ConfigError
         from .faults.profiles import parse_fault_spec
@@ -288,10 +302,13 @@ def _cmd_run(args) -> int:
 
 def _cmd_compare(args) -> int:
     runner = _runner_for(args)
-    base = runner.run(args.app, baseline_config(args.gpus))
+    base_config = baseline_config(args.gpus)
+    if args.no_fastpath:
+        base_config = base_config.with_fastpath(False)
+    base = runner.run(args.app, base_config)
     rows = []
     for scheme in InvalidationScheme:
-        result = runner.run(args.app, baseline_config(args.gpus).with_scheme(scheme))
+        result = runner.run(args.app, base_config.with_scheme(scheme))
         rows.append([
             scheme.value,
             result.exec_time,

@@ -367,6 +367,14 @@ class SystemConfig:
     #: (False = only capacity evictions propagate).
     lazy_idle_writeback: bool = True
 
+    #: batched fast-path replay of uncontended TLB-hitting access runs
+    #: (observationally equivalent to the pure event path; ``repro run
+    #: --no-fastpath`` and this flag both force the event path).
+    fastpath_enabled: bool = True
+    #: upper bound on accesses replayed per lane in one batch commit;
+    #: part of the cache key so tuning it can never serve stale results.
+    fastpath_batch_limit: int = 4096
+
     #: local DRAM access latency (cycles) for data and page-table reads.
     dram_latency: int = 100
     #: per-CU in-flight memory request window (latency-hiding depth).
@@ -413,6 +421,9 @@ class SystemConfig:
 
     def with_directory_bits(self, bits: int) -> "SystemConfig":
         return replace(self, directory_bits=bits)
+
+    def with_fastpath(self, enabled: bool) -> "SystemConfig":
+        return replace(self, fastpath_enabled=enabled)
 
     def with_faults(self, faults: Optional[FaultConfig] = None, **overrides) -> "SystemConfig":
         """Attach a fault profile (or override fields of the current one)."""

@@ -141,6 +141,14 @@ class IRMB:
         self.stats.counter("lookup_hits" if hit else "lookup_misses").add()
         return hit
 
+    def peek(self, vpn: int) -> bool:
+        """Statistics-free :meth:`lookup` — the fast path's eligibility
+        probe must not perturb the counters the event path would record
+        (a replayed L1 hit never probes the IRMB architecturally)."""
+        base, offset = self._split(vpn)
+        entry = self._entries.get(base)
+        return entry is not None and offset in entry
+
     # -- removal (a new mapping arrived for this VPN, §6.3) -----------------
 
     def remove(self, vpn: int) -> bool:

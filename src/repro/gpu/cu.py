@@ -6,14 +6,23 @@ between issues and keeping up to ``inflight_per_cu`` memory requests
 outstanding.  The window is what lets translation latency be hidden by
 computation — and what makes memory-intensive traces (small gaps)
 sensitive to invalidation-induced latency, exactly as §5.2 describes.
+
+When the system's :class:`~repro.gpu.fastpath.FastPath` is active, a
+lane *parks* whenever the whole system is quiescent: it hands its trace
+position to the batched replay tier and resumes (possibly thousands of
+accesses later) only when an access needs the full event pipeline or
+quiescence is lost.  See ``fastpath.py`` for the protocol and the
+observational-equivalence argument.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, Tuple
 
 from ..sim.engine import Process
 from ..sim.process import Resource
+from ..workloads.base import TraceBuffer, _as_buffer
 
 __all__ = ["Lane"]
 
@@ -24,25 +33,69 @@ class Lane:
     def __init__(self, gpu, lane_id: int, trace: Iterable[Tuple[int, int, bool]]) -> None:
         self.gpu = gpu
         self.lane_id = lane_id
-        self.trace = trace
+        self.trace: TraceBuffer = _as_buffer(trace)
+        # Replay state shared with the fast path (populated in run()).
+        self._window: Resource = None  # type: ignore[assignment]
+        self._releases: deque = deque()
+        self._gaps = self.trace.gaps
+        self._vpns = self.trace.vpns
+        self._writes = self.trace.writes
+        self._n = len(self.trace)
+        self._capacity = 0
+        #: this lane's in-flight slow (full-pipeline) accesses.  Parking
+        #: requires zero: a slow access holds a window slot with an
+        #: event-driven (unknown) release time that the replay ring
+        #: cannot model.
+        self._slow = 0
 
     def run(self):
         """Process body: replay the trace, then drain the window."""
-        engine = self.gpu.engine
-        capacity = self.gpu.config.inflight_per_cu
-        window = Resource(engine, capacity)
         gpu = self.gpu
-        for gap, vpn, is_write in self.trace:
-            if gap:
-                yield gap
-            yield window.request()
-            gpu.instructions += gap + 1
-            latency = gpu.try_fast_access(self.lane_id, vpn, is_write)
+        engine = gpu.engine
+        capacity = gpu.config.inflight_per_cu
+        window = Resource(engine, capacity)
+        self._window = window
+        self._capacity = capacity
+        gaps = self._gaps
+        vpns = self._vpns
+        writes = self._writes
+        n = self._n
+        releases = self._releases
+        fp = gpu.fastpath
+        lane_id = self.lane_id
+        try_fast = gpu.try_fast_access
+        schedule = engine.schedule
+        request = window.request
+        i = 0
+        while i < n:
+            if fp is not None and self._slow == 0 and fp.eligible():
+                i, arrival = yield fp.park(self, i)
+                if i >= n:
+                    break
+                # Resumed (at or before the escaping access's arrival
+                # time) to run access ``i`` through the event pipeline;
+                # the window grant below lands at its exact issue time.
+                wait = arrival - engine.now
+                if wait > 0:
+                    yield wait
+            else:
+                gap = gaps[i]
+                if gap:
+                    yield gap
+            yield request()
+            gpu.instructions += gaps[i] + 1
+            vpn = vpns[i]
+            is_write = bool(writes[i])
+            latency = try_fast(lane_id, vpn, is_write)
             if latency is not None:
                 # Fast path: occupancy modelled with one scheduled release.
-                engine.schedule(latency, window.release)
+                if fp is not None:
+                    releases.append(engine.now + latency)
+                schedule(latency, window.release)
             else:
+                self._slow += 1
                 Process(engine, self._one_access(vpn, is_write, window))
+            i += 1
         # Drain: reacquire every slot so we return only when all
         # outstanding accesses have completed.
         for _ in range(capacity):
@@ -54,3 +107,4 @@ class Lane:
             self.gpu._n_completed.add()
         finally:
             window.release()
+            self._slow -= 1

@@ -104,6 +104,13 @@ class GPU:
 
         #: instructions retired (for MPKI); incremented by the lanes.
         self.instructions = 0
+        #: the system's FastPath coordinator (None = pure event path);
+        #: attached by MultiGPUSystem when batched replay is eligible.
+        self.fastpath = None
+        #: bumped on every TLB shootdown / pushed mapping — parked-lane
+        #: replay records snapshot it, so any invalidation that lands
+        #: while a lane is parked voids its batch eligibility.
+        self.inval_generation = 0
 
         # Hot-path bindings: these run once per simulated memory access,
         # so config/property hops and StatsGroup dict probes add up.
@@ -344,6 +351,7 @@ class GPU:
 
     def _shootdown_tlbs(self, vpn: int) -> None:
         """TLB shootdown is immediate in baseline *and* IDYLL (§6.3)."""
+        self.inval_generation += 1
         self.l2_tlb.shootdown(vpn)
         for l1 in self.l1_tlbs:
             l1.shootdown(vpn)
@@ -351,6 +359,7 @@ class GPU:
     def deliver_mapping(self, vpn: int, word: int) -> Event:
         """Driver pushes a fresh mapping (migration destination): cancel
         any pending IRMB invalidation and install via an UPDATE walk."""
+        self.inval_generation += 1
         if self.lazy is not None:
             self.lazy.on_new_mapping(vpn)
         request = self.gmmu.walk(vpn, WalkKind.UPDATE, word=word)

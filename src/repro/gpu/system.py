@@ -63,6 +63,27 @@ class MultiGPUSystem:
             for g in range(config.num_gpus)
         ]
         self.driver.attach_gpus(self.gpus)
+        #: batched replay tier (tentpole of the two-tier replay core).
+        #: Constructed only when nothing needs per-access event fidelity:
+        #: tracing auto-degrades to the pure event path (golden traces
+        #: stay byte-identical by construction), and fault injection,
+        #: page replication and Trans-FW keep per-access state the
+        #: replay predicate does not model.
+        self.fastpath = None
+        if (
+            config.fastpath_enabled
+            and not self.tracer.enabled
+            and self.injector is None
+            and not config.page_replication
+            and not config.transfw_enabled
+        ):
+            from .fastpath import FastPath
+
+            self.fastpath = FastPath(
+                self.engine, config, self.gpus, self.driver, self.interconnect
+            )
+            for gpu in self.gpus:
+                gpu.fastpath = self.fastpath
         self.finish_time: int = 0
         #: abort state, populated by :meth:`run` when a watchdog or
         #: auditor terminates the simulation early.

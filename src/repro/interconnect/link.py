@@ -9,14 +9,102 @@ page transfers occupy the link for ``page_size / bandwidth``.
 
 from __future__ import annotations
 
+import heapq
+
 from ..sim.engine import Engine, Event, Process
 from ..sim.process import Resource
 from ..sim.stats import StatsGroup
 
 __all__ = ["Link", "CONTROL_MESSAGE_BYTES"]
 
+_heappush = heapq.heappush
+
 #: size charged for control messages (request/ack packets).
 CONTROL_MESSAGE_BYTES = 64
+
+
+class _FastTransfer:
+    """Flattened transfer state machine.
+
+    An exact mirror of the :meth:`Link._transfer` generator run by a
+    :class:`Process`: every ready-queue append and every heap push (and
+    therefore every sequence-number allocation) happens at the same
+    point in the same order, so the event calendar — and with it every
+    golden trace — is bit-for-bit identical.  What it drops is the
+    per-transfer Process object, generator frame, and the
+    resume/callback indirection around each hop, which is most of a
+    transfer's simulation cost.
+
+    Only zero ``extra_delay`` transfers take this path; the fault
+    injector's delayed packets keep the legacy generator.
+    """
+
+    __slots__ = ("link", "num_bytes", "done", "t0")
+
+    def __init__(self, link: "Link", num_bytes: int, done: Event) -> None:
+        self.link = link
+        self.num_bytes = num_bytes
+        self.done = done
+        self.t0 = 0
+        # Mirrors Process.__init__'s ready append (process start).
+        link.engine._ready.append((self._begin, ()))
+
+    def _begin(self) -> None:
+        # Mirrors the generator's first resume: t0, then port.request().
+        link = self.link
+        engine = link.engine
+        self.t0 = engine._now
+        port = link._port
+        if port._in_use < port.capacity:
+            # request() succeeded immediately; the Process would attach
+            # its wait callback to the already-triggered event, which
+            # defers one ready hop.
+            port._in_use += 1
+            engine._ready.append((self._granted, (None,)))
+        else:
+            ev = Event(engine)
+            ev.add_callback(self._granted)
+            port._waiters.append(ev)
+
+    def _granted(self, _ev) -> None:
+        # Mirrors `yield serialisation_cycles` (always > 0): the bare-int
+        # fast path pushes straight onto the heap.
+        engine = self.link.engine
+        engine._seq += 1
+        _heappush(
+            engine._heap,
+            (engine._now + self.link.serialisation_cycles(self.num_bytes),
+             engine._seq, self._serialised, ()),
+        )
+
+    def _serialised(self) -> None:
+        link = self.link
+        engine = link.engine
+        link._port.release()
+        latency = link.latency
+        if latency > 0:
+            # Mirrors `yield latency`.
+            engine._seq += 1
+            _heappush(
+                engine._heap,
+                (engine._now + latency, engine._seq, self._arrive, ()),
+            )
+        else:
+            # Mirrors `yield engine.timeout(0)`: Timeout(0) defers through
+            # the ready queue twice (the _fire hop, then the wait callback).
+            engine._ready.append((self._latency0_fire, ()))
+
+    def _latency0_fire(self) -> None:
+        self.link.engine._ready.append((self._arrive, ()))
+
+    def _arrive(self) -> None:
+        link = self.link
+        link._n_transfers.add()
+        link._n_bytes.add(self.num_bytes)
+        link._t_transfer.record(link.engine._now - self.t0)
+        if link.owner is not None:
+            link.owner.inflight -= 1
+        self.done.succeed()
 
 
 class Link:
@@ -24,7 +112,7 @@ class Link:
 
     __slots__ = (
         "engine", "bandwidth_gbps", "latency", "clock_ghz", "stats", "_port",
-        "_n_transfers", "_n_bytes", "_t_transfer", "_ser_cache",
+        "_n_transfers", "_n_bytes", "_t_transfer", "_ser_cache", "owner",
     )
 
     def __init__(
@@ -34,6 +122,7 @@ class Link:
         latency: int,
         clock_ghz: float = 1.0,
         name: str = "link",
+        owner=None,
     ) -> None:
         if bandwidth_gbps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -50,6 +139,9 @@ class Link:
         self._n_bytes = self.stats.counter("bytes")
         self._t_transfer = self.stats.latency("transfer_time")
         self._ser_cache: dict = {}
+        #: optional Interconnect back-reference carrying the system-wide
+        #: in-flight transfer gauge the batched fast path consults.
+        self.owner = owner
 
     def serialisation_cycles(self, num_bytes: int) -> int:
         cycles = self._ser_cache.get(num_bytes)
@@ -67,7 +159,12 @@ class Link:
         enough value, reordering) individual packets on the wire.
         """
         done = Event(self.engine)
-        Process(self.engine, self._transfer(num_bytes, done, extra_delay))
+        if self.owner is not None:
+            self.owner.inflight += 1
+        if extra_delay:
+            Process(self.engine, self._transfer(num_bytes, done, extra_delay))
+        else:
+            _FastTransfer(self, num_bytes, done)
         return done
 
     def _transfer(self, num_bytes: int, done: Event, extra_delay: int = 0):
@@ -89,6 +186,8 @@ class Link:
         self._n_transfers.add()
         self._n_bytes.add(num_bytes)
         self._t_transfer.record(self.engine.now - t0)
+        if self.owner is not None:
+            self.owner.inflight -= 1
         done.succeed()
 
     def send_control(self) -> Event:

@@ -25,6 +25,9 @@ class Interconnect:
         self.engine = engine
         self.config = config
         self.num_gpus = num_gpus
+        #: transfers currently in flight across all links — a cheap
+        #: system-wide quiescence gauge for the batched fast path.
+        self.inflight = 0
         self._nvlink_out: Dict[int, Link] = {
             g: Link(
                 engine,
@@ -32,6 +35,7 @@ class Interconnect:
                 config.nvlink_latency,
                 config.clock_ghz,
                 name=f"nvlink{g}.out",
+                owner=self,
             )
             for g in range(num_gpus)
         }
@@ -40,11 +44,11 @@ class Interconnect:
         for g in range(num_gpus):
             self._pcie_up[g] = Link(
                 engine, config.pcie_bandwidth_gbps, config.pcie_latency,
-                config.clock_ghz, name=f"pcie{g}.up",
+                config.clock_ghz, name=f"pcie{g}.up", owner=self,
             )
             self._pcie_down[g] = Link(
                 engine, config.pcie_bandwidth_gbps, config.pcie_latency,
-                config.clock_ghz, name=f"pcie{g}.down",
+                config.clock_ghz, name=f"pcie{g}.down", owner=self,
             )
 
     def _check_gpu(self, gpu: int) -> None:

@@ -72,7 +72,10 @@ class Interrupt(Exception):
 class Engine:
     """The event calendar and simulation clock."""
 
-    __slots__ = ("_now", "_heap", "_ready", "_seq", "_running", "tracer")
+    __slots__ = (
+        "_now", "_heap", "_ready", "_seq", "_running", "_dead", "batcher",
+        "batch_mode", "tracer",
+    )
 
     def __init__(self, tracer=None) -> None:
         self._now = 0
@@ -81,6 +84,18 @@ class Engine:
         self._ready: deque = deque()
         self._seq = 0
         self._running = False
+        #: cancelled Timeout entries still sitting in the heap; compacted
+        #: away once they outnumber the live entries.
+        self._dead = 0
+        #: optional batched-replay hook (see repro.gpu.fastpath): consulted
+        #: by the unbounded drain loop whenever the ready queue is empty,
+        #: before the next heap pop.  Returns True when it made progress.
+        #: when True, :meth:`run` uses the batched drain loop (a fast
+        #: path coordinator exists for this engine).  ``batcher`` is the
+        #: hook itself, installed only while lanes are actually parked so
+        #: the common no-parked-lane event pays a single None check.
+        self.batch_mode: bool = False
+        self.batcher: Optional[Callable[[], bool]] = None
         #: event tracer shared by every component built on this engine;
         #: NULL_TRACER (enabled == False) unless a recorder is attached.
         self.tracer = NULL_TRACER
@@ -137,6 +152,8 @@ class Engine:
         self._running = True
         try:
             if until is None:
+                if self.batch_mode:
+                    return self._drain_fast_batched()
                 return self._drain_fast()
             return self._drain_until(until)
         finally:
@@ -157,6 +174,58 @@ class Engine:
             when, _seq, fn, args = pop(heap)
             self._now = when
             fn(*args)
+        return self._now
+
+    def _drain_fast_batched(self) -> int:
+        """Unbounded drain with the batched-replay hook installed.
+
+        Identical event order to :meth:`_drain_fast`; between draining
+        the ready queue and popping the next heap event the batcher gets
+        a chance to replay parked lanes in bulk (possibly consuming heap
+        events itself via :meth:`run_batch_until`).  The loop condition
+        is ``True`` rather than ``ready or heap`` because parked lanes
+        hold no calendar entries: the batcher is the only thing that can
+        finish the run once every lane is parked.
+        """
+        ready = self._ready
+        popleft = ready.popleft
+        heap = self._heap
+        pop = _heappop
+        while True:
+            while ready:
+                fn, args = popleft()
+                fn(*args)
+            batcher = self.batcher
+            if batcher is not None and batcher():
+                continue
+            if not heap:
+                break
+            when, _seq, fn, args = pop(heap)
+            self._now = when
+            fn(*args)
+        return self._now
+
+    def run_batch_until(self, until: int) -> int:
+        """Commit step of the batched fast path: drain every event due at
+        or before ``until`` (all benign by the batcher's construction —
+        parked-lane window releases and cancelled timeouts), then advance
+        the clock to ``until``.  Re-entrant from inside a running drain,
+        unlike :meth:`run`."""
+        ready = self._ready
+        popleft = ready.popleft
+        heap = self._heap
+        pop = _heappop
+        while ready or heap:
+            while ready:
+                fn, args = popleft()
+                fn(*args)
+            if not heap or heap[0][0] > until:
+                break
+            when, _seq, fn, args = pop(heap)
+            self._now = when
+            fn(*args)
+        if until > self._now:
+            self._now = until
         return self._now
 
     def _drain_until(self, until: int) -> int:
@@ -186,6 +255,28 @@ class Engine:
         if self._ready:
             return self._now
         return self._heap[0][0] if self._heap else None
+
+    def _note_cancelled(self) -> None:
+        """A heap-resident Timeout was cancelled; compact once dead
+        entries outnumber live ones (heavy watchdog/interrupt load
+        otherwise makes every push/pop pay log-time for corpses)."""
+        self._dead += 1
+        if self._dead * 2 > len(self._heap):
+            self._compact_heap()
+
+    def _compact_heap(self) -> None:
+        """Drop cancelled-Timeout entries and re-heapify.  Entry order is
+        unaffected: survivors keep their ``(time, seq)`` keys."""
+        heap = self._heap
+        live = []
+        for entry in heap:
+            owner = getattr(entry[2], "__self__", None)
+            if owner is not None and owner.__class__ is Timeout and owner._cancelled:
+                continue
+            live.append(entry)
+        heap[:] = live
+        heapq.heapify(heap)
+        self._dead = 0
 
 
 class Event:
@@ -251,9 +342,11 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires a fixed delay after its creation."""
+    """An event that fires a fixed delay after its creation (unless
+    cancelled first — a cancelled Timeout never fires and its calendar
+    entry is reclaimed lazily or by heap compaction)."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_cancelled")
 
     def __init__(self, engine: Engine, delay: int, value: Any = None) -> None:
         # Flattened Event.__init__ plus an inlined schedule: Timeouts are
@@ -264,13 +357,29 @@ class Timeout(Event):
         self._ok = True
         self._triggered = False
         self.delay = delay
+        self._cancelled = False
         if delay > 0:
             engine._seq += 1
             _heappush(engine._heap, (engine._now + delay, engine._seq, self._fire, (value,)))
         else:
             engine.schedule(delay, self._fire, value)
 
+    def cancel(self) -> None:
+        """Disarm the timeout: it will never succeed.  Safe to call more
+        than once or after the timeout fired (both are no-ops)."""
+        if self._triggered or self._cancelled:
+            return
+        self._cancelled = True
+        if self.delay > 0:
+            self.engine._note_cancelled()
+
     def _fire(self, value: Any) -> None:
+        if self._cancelled:
+            # The lazily-reclaimed case: the dead entry drained naturally
+            # before compaction got to it.
+            if self.delay > 0 and self.engine._dead:
+                self.engine._dead -= 1
+            return
         self.succeed(value)
 
 
@@ -298,18 +407,26 @@ class AllOf(Event):
 class AnyOf(Event):
     """Fires as soon as the first child event fires; value is that
     child's value.  Later children firing are ignored (their callbacks
-    find the composition already triggered)."""
+    find the composition already triggered).  Losing children that are
+    plain Timeouts are cancelled so their calendar entries can be
+    reclaimed — the retry/timeout idiom (`AnyOf([ack, deadline])`)
+    otherwise strews dead deadlines through the heap."""
 
-    __slots__ = ()
+    __slots__ = ("_children",)
 
     def __init__(self, engine: Engine, events: Iterable[Event]) -> None:
         super().__init__(engine)
-        for ev in events:
+        self._children = list(events)
+        for ev in self._children:
             ev.add_callback(self._child_done)
 
     def _child_done(self, ev: Event) -> None:
         if not self._triggered:
             self.succeed(ev.value)
+            for child in self._children:
+                if child is not ev and child.__class__ is Timeout and not child._triggered:
+                    child.cancel()
+            self._children = ()
 
 
 class LivenessWatchdog:
@@ -417,6 +534,10 @@ class Process(Event):
             # Detach from whatever it was waiting on.
             if target._callbacks is not None and self._on_wait_done in target._callbacks:
                 target._callbacks.remove(self._on_wait_done)
+            # A detached Timeout can never matter again — disarm it so
+            # the heap entry is reclaimable instead of firing into void.
+            if target.__class__ is Timeout:
+                target.cancel()
         self._waiting_on = None
         self.engine._ready.append((self._resume, (None, Interrupt(cause))))
 

@@ -99,6 +99,10 @@ class UVMDriver:
         self._generation: Dict[int, int] = {}
         #: pages pinned by the first-touch policy.
         self._pinned: Set[int] = set()
+        #: far faults raised but not yet resolved — covers the whole
+        #: lifecycle (interrupt in flight, queued, batching window,
+        #: resolution, reply); a quiescence gauge for the fast path.
+        self._inflight_faults = 0
         engine.process(self._fault_service_loop())
 
     def _build_directory(self):
@@ -127,6 +131,7 @@ class UVMDriver:
         """Called by a GPU's GMMU.  Covers the interrupt over PCIe, driver
         batching, resolution, and the reply; fires with the new PTE word."""
         fault = FarFault(gpu_id, vpn, is_write, self.engine.now, self.engine.event())
+        self._inflight_faults += 1
         self.stats.counter("far_faults").add()
         if self._tracer.enabled:
             self._tracer.emit("fault.raise", self.name, vpn, gpu=gpu_id, write=is_write)
@@ -202,6 +207,7 @@ class UVMDriver:
                 "fault.resolve", self.name, fault.vpn,
                 gpu=fault.gpu_id, cycles=self.engine.now - fault.raised_at,
             )
+        self._inflight_faults -= 1
         fault.resolved.succeed(word)
 
     def _resolve(self, fault: FarFault, allow_migrate: bool = True):

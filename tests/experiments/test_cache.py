@@ -37,6 +37,20 @@ class TestCacheKey:
         assert code_version() == code_version()
         assert len(code_version()) == 16
 
+    def test_sensitive_to_fastpath_knobs(self):
+        """A cached event-path result must never be served for a
+        fast-path run or vice versa (and batch sizing is part of the
+        simulator identity too): both knobs must change the key."""
+        from dataclasses import replace
+
+        config = baseline_config(2)
+        base = cache_key("PR", config, **KEY_ARGS)
+        assert cache_key("PR", config.with_fastpath(False), **KEY_ARGS) != base
+        assert (
+            cache_key("PR", replace(config, fastpath_batch_limit=64), **KEY_ARGS)
+            != base
+        )
+
 
 class TestResultCacheStore:
     def _result(self) -> SimulationResult:

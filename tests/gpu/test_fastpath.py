@@ -1,0 +1,145 @@
+"""Observational-equivalence tests for the batched fast-path replay tier.
+
+The two-tier replay core's contract is that enabling the fast path
+changes *nothing* observable: every collected statistic is identical
+field-for-field, and any run with tracing enabled degrades to the pure
+event path so golden traces stay byte-identical by construction.  These
+tests are the enforcement arm of DESIGN.md §8's equivalence argument.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, replace
+
+import pytest
+
+from repro.config import InvalidationScheme, baseline_config
+from repro.gpu.system import MultiGPUSystem
+from repro.sim.trace import TraceRecorder
+from repro.workloads.base import Workload
+
+BASE_VPN = 1 << 20
+
+
+def random_workload(seed: int, num_gpus: int, lanes: int = 2, accesses: int = 60):
+    """Mixed read/write trace over pages shared across GPUs (so remote
+    accesses, migrations and shootdowns all fire) plus per-lane private
+    pages (so the fast path has something to replay)."""
+    rng = random.Random(seed)
+    shared_pages = 24
+    private_pages = 8
+    traces = []
+    for g in range(num_gpus):
+        gpu_traces = []
+        for lane in range(lanes):
+            private_base = BASE_VPN + shared_pages + (g * lanes + lane) * private_pages
+            records = []
+            for _ in range(accesses):
+                if rng.random() < 0.5:
+                    vpn = BASE_VPN + rng.randrange(shared_pages)
+                else:
+                    vpn = private_base + rng.randrange(private_pages)
+                records.append((rng.randrange(8), vpn, rng.random() < 0.3))
+            gpu_traces.append(records)
+        traces.append(gpu_traces)
+    return Workload(name=f"rand{seed}", traces=traces)
+
+
+def run_stats(config, workload, seed: int = 7, tracer=None):
+    system = MultiGPUSystem(config, seed=seed, tracer=tracer)
+    result = system.run(workload)
+    return system, asdict(result)
+
+
+def small_config(num_gpus: int, scheme=InvalidationScheme.IDYLL):
+    return replace(
+        baseline_config(num_gpus=num_gpus).with_scheme(scheme),
+        trace_lanes=2,
+        inflight_per_cu=4,
+    )
+
+
+class TestRandomizedEquivalence:
+    """Property test: fast path on vs off must agree field-for-field on
+    every collected statistic, across seeds, GPU counts and schemes."""
+
+    @pytest.mark.parametrize("num_gpus", [1, 2, 4])
+    @pytest.mark.parametrize("seed", range(20))
+    def test_stats_identical(self, seed, num_gpus):
+        scheme = (
+            InvalidationScheme.IDYLL if seed % 2 else InvalidationScheme.BROADCAST
+        )
+        config = small_config(num_gpus, scheme)
+        workload = random_workload(seed, num_gpus)
+        _, fast = run_stats(config, workload)
+        _, slow = run_stats(config.with_fastpath(False), workload)
+        diff = {k: (fast[k], slow[k]) for k in fast if fast[k] != slow[k]}
+        assert not diff, f"fastpath changed observable stats: {diff}"
+
+    def test_batch_limit_chunking_is_equivalent(self):
+        """A tiny batch limit forces the chunked replay loop through many
+        rounds; results must not depend on the chunk size."""
+        config = small_config(2)
+        workload = random_workload(99, 2, accesses=120)
+        _, a = run_stats(replace(config, fastpath_batch_limit=4), workload)
+        _, b = run_stats(config.with_fastpath(False), workload)
+        diff = {k: (a[k], b[k]) for k in a if a[k] != b[k]}
+        assert not diff, diff
+
+
+class TestTracingDegradation:
+    """Tracing must auto-degrade to the pure event path and stay
+    byte-identical to an explicit --no-fastpath traced run."""
+
+    def test_fastpath_not_built_when_tracing(self):
+        config = small_config(2)
+        system = MultiGPUSystem(config, seed=7, tracer=TraceRecorder())
+        assert system.fastpath is None
+
+    def test_traced_runs_byte_identical(self):
+        config = small_config(2)
+        workload = random_workload(5, 2)
+
+        def traced_lines(cfg):
+            tracer = TraceRecorder()
+            MultiGPUSystem(cfg, seed=7, tracer=tracer).run(workload)
+            return list(tracer.lines())
+
+        assert traced_lines(config) == traced_lines(config.with_fastpath(False))
+
+
+class TestEngagement:
+    """On a TLB-resident trace the batch tier must actually engage —
+    otherwise the equivalence suite is vacuously testing the event path
+    against itself."""
+
+    @staticmethod
+    def tlb_resident_workload(num_gpus=2, lanes=2, accesses=2000, pages=8):
+        traces = []
+        for g in range(num_gpus):
+            gpu_traces = []
+            for lane in range(lanes):
+                base = BASE_VPN + (g * lanes + lane) * pages
+                gpu_traces.append(
+                    [(1, base + (i % pages), (i % 5) == 2) for i in range(accesses)]
+                )
+            traces.append(gpu_traces)
+        return Workload(name="tlbres", traces=traces)
+
+    def test_replays_most_accesses_and_stats_match(self):
+        config = small_config(2)
+        workload = self.tlb_resident_workload()
+        system, fast = run_stats(config, workload)
+        assert system.fastpath is not None
+        assert system.fastpath.parks > 0
+        # Nearly everything after the first-touch faults is replayable.
+        assert system.fastpath.replayed > 0.8 * fast["accesses"]
+        _, slow = run_stats(config.with_fastpath(False), workload)
+        diff = {k: (fast[k], slow[k]) for k in fast if fast[k] != slow[k]}
+        assert not diff, diff
+
+    def test_no_fastpath_flag_disables_construction(self):
+        config = small_config(2).with_fastpath(False)
+        system = MultiGPUSystem(config, seed=7)
+        assert system.fastpath is None

@@ -231,3 +231,109 @@ class TestAllOf:
         combined = AllOf(engine, [ev, Timeout(engine, 4, value=2)])
         engine.run()
         assert combined.value == [1, 2]
+
+
+class TestHeapHygiene:
+    """Cancelled Timeouts must not accumulate as heap corpses: once dead
+    entries outnumber live ones the calendar compacts, and natural
+    drains reclaim the dead count lazily."""
+
+    def test_cancelled_timeout_never_fires(self):
+        engine = Engine()
+        fired = []
+        timeout = Timeout(engine, 10)
+        timeout.add_callback(lambda _e: fired.append(engine.now))
+        timeout.cancel()
+        engine.run()
+        assert fired == []
+        assert not timeout.triggered
+
+    def test_cancel_is_idempotent_and_safe_after_fire(self):
+        engine = Engine()
+        timeout = Timeout(engine, 5)
+        engine.run()
+        assert timeout.triggered
+        timeout.cancel()  # after fire: no-op
+        other = Timeout(engine, 5)
+        other.cancel()
+        other.cancel()  # double cancel: no-op
+        # The lone corpse immediately trips compaction (1 dead > 0 live).
+        assert engine._dead == 0
+        assert len(engine._heap) == 0
+
+    def test_mass_cancellation_compacts_heap(self):
+        engine = Engine()
+        doomed = [Timeout(engine, 100 + i) for i in range(64)]
+        survivor = Timeout(engine, 500)
+        assert len(engine._heap) == 65
+        for timeout in doomed:
+            timeout.cancel()
+        # Compaction triggers once dead entries outnumber live ones and
+        # drops every corpse, resetting the dead count.
+        assert len(engine._heap) == 1
+        assert engine._dead == 0
+        fired = []
+        survivor.add_callback(lambda _e: fired.append(engine.now))
+        engine.run()
+        assert fired == [500]
+
+    def test_compaction_preserves_order_of_survivors(self):
+        engine = Engine()
+        order = []
+        keep = [Timeout(engine, d, value=d) for d in (30, 10, 20)]
+        for timeout in keep:
+            timeout.add_callback(lambda e: order.append(e.value))
+        doomed = [Timeout(engine, 40 + i) for i in range(16)]
+        for timeout in doomed:
+            timeout.cancel()
+        engine.run()
+        assert order == [10, 20, 30]
+
+    def test_naturally_drained_corpse_reclaims_dead_count(self):
+        engine = Engine()
+        # One live entry keeps the heap big enough that a single cancel
+        # does not trip compaction; the corpse must then drain lazily.
+        Timeout(engine, 50)
+        Timeout(engine, 60)
+        victim = Timeout(engine, 10)
+        victim.cancel()
+        assert engine._dead == 1
+        assert len(engine._heap) == 3  # corpse still resident
+        engine.run()
+        assert engine._dead == 0
+
+
+class TestRunBatchUntil:
+    """run_batch_until drains events at or before the bound and advances
+    the clock to it, re-entrantly from inside a callback."""
+
+    def test_drains_up_to_bound_and_advances_clock(self):
+        engine = Engine()
+        fired = []
+        for delay in (5, 10, 15):
+            engine.schedule(delay, fired.append, delay)
+        engine.run_batch_until(10)
+        assert fired == [5, 10]
+        assert engine.now == 10
+        engine.run()
+        assert fired == [5, 10, 15]
+
+    def test_advances_idle_clock(self):
+        engine = Engine()
+        engine.run_batch_until(25)
+        assert engine.now == 25
+
+    def test_reentrant_from_event_callback(self):
+        engine = Engine()
+        seen = []
+
+        def consume_next():
+            engine.run_batch_until(20)
+            seen.append(("inner", engine.now))
+
+        engine.schedule(5, consume_next)
+        engine.schedule(20, seen.append, "later")
+        engine.run()
+        # The bounded drain consumes the t=20 event *inside* the t=5
+        # callback, so "later" lands first and the clock is already at 20.
+        assert seen == ["later", ("inner", 20)]

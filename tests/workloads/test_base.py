@@ -71,3 +71,43 @@ class TestPartitioning:
     def test_zero_gpus_rejected(self):
         with pytest.raises(ValueError):
             partition_pages(0, 8, 0)
+
+
+class TestTraceBuffer:
+    """Columnar trace storage must be a drop-in for tuple lists."""
+
+    RECORDS = [(0, 10, False), (5, 11, True), (2, 10, False)]
+
+    def test_from_records_round_trips(self):
+        from repro.workloads.base import TraceBuffer
+
+        buf = TraceBuffer.from_records(self.RECORDS)
+        assert len(buf) == 3
+        assert list(buf) == self.RECORDS
+        assert buf[1] == (5, 11, True)
+        assert isinstance(buf[1][2], bool)
+
+    def test_equality_with_lists_and_buffers(self):
+        from repro.workloads.base import TraceBuffer
+
+        buf = TraceBuffer.from_records(self.RECORDS)
+        assert buf == self.RECORDS
+        assert buf == TraceBuffer.from_records(self.RECORDS)
+        assert buf != TraceBuffer.from_records(self.RECORDS[:2])
+
+    def test_mismatched_columns_rejected(self):
+        from array import array
+
+        from repro.workloads.base import TraceBuffer
+
+        with pytest.raises(ValueError):
+            TraceBuffer(array("q", [1]), array("q", [1, 2]), bytearray(1))
+
+    def test_workload_coerces_tuple_lists(self):
+        from repro.workloads.base import TraceBuffer
+
+        w = make_workload()
+        for gpu in w.traces:
+            for trace in gpu:
+                assert isinstance(trace, TraceBuffer)
+        assert w.total_accesses() == 4
