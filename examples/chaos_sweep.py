@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Chaos drill for the supervised sweep runner (the CI ``chaos`` job).
+
+Scenario — the acceptance drill for crash-safe sweep execution:
+
+1. run a 4-GPU sweep to completion, uninterrupted → reference results;
+2. run the *same* sweep in a subprocess against a fresh cache while a
+   saboteur thread SIGKILLs one worker mid-task and then SIGINTs the
+   supervisor itself mid-flight (graceful drain, exit via
+   :class:`~repro.experiments.parallel.SweepInterrupted`);
+3. resume the interrupted sweep from its journal + result cache;
+4. assert the resumed sweep's results are byte-identical to step 1's.
+
+Run it directly::
+
+    python examples/chaos_sweep.py
+
+It exits 0 only if the interruption landed, the resume completed, and
+the bytes match.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.config import InvalidationScheme, baseline_config  # noqa: E402
+from repro.experiments.cache import ResultCache  # noqa: E402
+from repro.experiments.parallel import (  # noqa: E402
+    ParallelRunner,
+    SweepInterrupted,
+)
+
+SIZES = dict(lanes=2, accesses_per_lane=150, seed=7)
+
+
+def grid():
+    base = baseline_config(4)
+    return [
+        ("PR", base),
+        ("PR", base.with_scheme(InvalidationScheme.IDYLL)),
+        ("SC", base),
+        ("SC", base.with_scheme(InvalidationScheme.LAZY)),
+        ("BS", base.with_scheme(InvalidationScheme.IDYLL)),
+    ]
+
+
+def results_blob(results) -> bytes:
+    return json.dumps([asdict(r) for r in results], sort_keys=True).encode()
+
+
+def run_victim(cache_dir: str) -> None:
+    """Child mode: run the sweep and sabotage it from within."""
+    runner = ParallelRunner(
+        jobs=2, cache=ResultCache(cache_dir), drain_timeout=0.5, **SIZES
+    )
+
+    def sabotage():
+        deadline = time.monotonic() + 120
+        # First strike: SIGKILL one busy worker outright.
+        while time.monotonic() < deadline:
+            supervisor = runner._supervisor
+            if supervisor is not None:
+                busy = [
+                    w for w in supervisor._workers.values()
+                    if w.task_key is not None and w.proc.is_alive()
+                ]
+                if busy:
+                    os.kill(busy[0].proc.pid, signal.SIGKILL)
+                    print(
+                        f"victim: SIGKILLed worker {busy[0].proc.pid}",
+                        file=sys.stderr,
+                    )
+                    break
+            time.sleep(0.01)
+        # Second strike: ^C the supervisor while work is in flight.
+        while time.monotonic() < deadline:
+            supervisor = runner._supervisor
+            if supervisor is not None and any(
+                w.task_key is not None for w in supervisor._workers.values()
+            ):
+                print("victim: SIGINTing the supervisor", file=sys.stderr)
+                os.kill(os.getpid(), signal.SIGINT)
+                return
+            time.sleep(0.01)
+
+    threading.Thread(target=sabotage, daemon=True).start()
+    try:
+        runner.run_many(grid(), sweep_name="chaos")
+    except SweepInterrupted as exc:
+        print(f"victim: interrupted as planned: {exc}", file=sys.stderr)
+        sys.exit(130)
+    # The sweep must actually be interrupted for the drill to count.
+    print("victim: sweep finished before the sabotage landed", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    try:
+        # 1. Reference: uninterrupted supervised sweep.
+        print("chaos: running the uninterrupted reference sweep ...")
+        reference_runner = ParallelRunner(
+            jobs=2, cache=ResultCache(workdir / "reference-cache"), **SIZES
+        )
+        reference = results_blob(
+            reference_runner.run_many(grid(), sweep_name="chaos")
+        )
+
+        # 2. Victim: same sweep, SIGKILL a worker + SIGINT the
+        #    supervisor mid-flight, in its own interpreter.
+        print("chaos: running the sabotaged sweep ...")
+        victim_cache = workdir / "victim-cache"
+        proc = subprocess.run(
+            [sys.executable, __file__, "--victim", str(victim_cache)],
+            timeout=600,
+        )
+        if proc.returncode != 130:
+            print(
+                f"chaos: FAIL — victim exited {proc.returncode}, expected 130"
+            )
+            return 1
+        journal = victim_cache / "journals" / "chaos.jsonl"
+        if not journal.exists():
+            print("chaos: FAIL — interrupted sweep left no journal")
+            return 1
+        print(
+            f"chaos: victim interrupted; journal has "
+            f"{len(journal.read_text().splitlines())} record(s)"
+        )
+
+        # 3. Resume from journal + cache in this process.
+        print("chaos: resuming the interrupted sweep ...")
+        resumed_runner = ParallelRunner(
+            jobs=2, cache=ResultCache(victim_cache), **SIZES
+        )
+        resumed = results_blob(
+            resumed_runner.run_many(grid(), sweep_name="chaos", resume=True)
+        )
+        served_from_cache = resumed_runner.cache.hits
+        print(f"chaos: resume served {served_from_cache} run(s) from cache")
+
+        # 4. Byte-equality against the uninterrupted reference.
+        if resumed != reference:
+            print("chaos: FAIL — resumed results differ from reference")
+            return 1
+        print("chaos: OK — resumed sweep byte-identical to uninterrupted run")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 3 and sys.argv[1] == "--victim":
+        run_victim(sys.argv[2])
+    sys.exit(main())

@@ -88,7 +88,12 @@ def _build_parser() -> argparse.ArgumentParser:
         )
 
     run = sub.add_parser("run", help="simulate one application")
-    run.add_argument("app", help=f"one of {APP_ORDER} or a DNN model")
+    run.add_argument(
+        "app",
+        nargs="?",
+        default=None,
+        help=f"one of {APP_ORDER} or a DNN model (omit with --resume)",
+    )
     run.add_argument(
         "--scheme",
         choices=[s.value for s in InvalidationScheme],
@@ -135,6 +140,31 @@ def _build_parser() -> argparse.ArgumentParser:
             "cycles (and at quiesce) even without --faults"
         ),
     )
+    run.add_argument(
+        "--checkpoint-every",
+        metavar="CYCLES",
+        type=int,
+        default=None,
+        help=(
+            "write a restorable checkpoint roughly every CYCLES simulated "
+            "cycles (at the next quiescent instant; see DESIGN.md §9)"
+        ),
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default="checkpoints",
+        help="where ckpt-*.ckpt files go (default: ./checkpoints)",
+    )
+    run.add_argument(
+        "--resume",
+        metavar="CKPT",
+        default=None,
+        help=(
+            "resume a run from a checkpoint file and play it to completion "
+            "(APP and sizing flags come from the checkpoint)"
+        ),
+    )
     add_sim_args(run)
 
     compare = sub.add_parser("compare", help="all invalidation schemes on one app")
@@ -157,6 +187,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="skip the on-disk result cache (see $REPRO_CACHE_DIR)",
+    )
+    figure.add_argument(
+        "--resume-sweep",
+        action="store_true",
+        help=(
+            "continue an interrupted sweep from its journal and result "
+            "cache: finished runs are served from disk, quarantined "
+            "poison runs are skipped"
+        ),
     )
 
     trace = sub.add_parser("trace", help="generate and save a workload trace")
@@ -239,7 +278,49 @@ def _cmd_list() -> int:
     return 0
 
 
+def _print_result(result) -> None:
+    skip = {"extras", "workload", "scheme", "num_gpus"}
+    for key, value in asdict(result).items():
+        if key in skip:
+            continue
+        if isinstance(value, float):
+            print(f"  {key:<28} {value:.3f}")
+        else:
+            print(f"  {key:<28} {value}")
+
+
+def _report_abort(result, system) -> int:
+    if not result.aborted:
+        return 0
+    print(f"\nABORTED: {result.abort_reason}", file=sys.stderr)
+    dump = getattr(system, "abort_dump", "") if system is not None else ""
+    if dump:
+        print(dump, file=sys.stderr)
+    return 3
+
+
 def _cmd_run(args) -> int:
+    if args.resume:
+        from .sim.snapshot import CheckpointError, resume_run
+
+        try:
+            system, result = resume_run(
+                args.resume,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=args.checkpoint_dir,
+            )
+        except CheckpointError as exc:
+            print(f"error: cannot resume from {args.resume}: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"{result.workload} resumed from {args.resume} "
+            f"({result.num_gpus} GPUs, scheme={result.scheme})"
+        )
+        _print_result(result)
+        return _report_abort(result, system)
+    if not args.app:
+        print("error: APP is required unless --resume is given", file=sys.stderr)
+        return 2
     runner = _runner_for(args)
     config = baseline_config(args.gpus).with_scheme(InvalidationScheme(args.scheme))
     config = config.with_policy(MigrationPolicy(args.policy))
@@ -260,9 +341,11 @@ def _cmd_run(args) -> int:
         )
 
     system = None
-    if args.trace or args.faults or args.audit is not None:
-        # Faulted/audited runs bypass the memoising runner so the abort
-        # diagnostics (protocol-state dump) stay accessible.
+    if (args.trace or args.faults or args.audit is not None
+            or args.checkpoint_every):
+        # Faulted/audited/checkpointed runs bypass the memoising runner
+        # so the abort diagnostics (protocol-state dump) and checkpoint
+        # controller stay accessible.
         workload = runner.workload(args.app, num_gpus=args.gpus)
         tracer = None
         if args.trace:
@@ -270,7 +353,18 @@ def _cmd_run(args) -> int:
 
             tracer = TraceRecorder(capacity=args.trace_limit)
         system = MultiGPUSystem(config, seed=runner.seed, tracer=tracer)
-        result = system.run(workload)
+        result = system.run(
+            workload,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir if args.checkpoint_every else None,
+        )
+        if args.checkpoint_every:
+            controller = system._controller
+            print(
+                f"wrote {controller.written} checkpoint(s) to "
+                f"{args.checkpoint_dir} ({controller.retries} quiescence "
+                f"retries)"
+            )
         if args.trace:
             from .metrics.trace_export import trace_to_chrome, trace_to_jsonl
 
@@ -283,21 +377,8 @@ def _cmd_run(args) -> int:
     else:
         result = runner.run(args.app, config)
     print(f"{args.app} on {args.gpus} GPUs, scheme={args.scheme}, policy={args.policy}")
-    skip = {"extras", "workload", "scheme", "num_gpus"}
-    for key, value in asdict(result).items():
-        if key in skip:
-            continue
-        if isinstance(value, float):
-            print(f"  {key:<28} {value:.3f}")
-        else:
-            print(f"  {key:<28} {value}")
-    if result.aborted:
-        print(f"\nABORTED: {result.abort_reason}", file=sys.stderr)
-        dump = getattr(system, "abort_dump", "") if system is not None else ""
-        if dump:
-            print(dump, file=sys.stderr)
-        return 3
-    return 0
+    _print_result(result)
+    return _report_abort(result, system)
 
 
 def _cmd_compare(args) -> int:
@@ -329,18 +410,29 @@ def _cmd_figure(args) -> int:
     import os
 
     from .experiments.cache import ResultCache
-    from .experiments.parallel import ParallelRunner
+    from .experiments.parallel import ParallelRunner, SweepInterrupted
 
     cache = None
     if not args.no_cache and os.environ.get("REPRO_CACHE") != "0":
         cache = ResultCache()
+    if args.resume_sweep and cache is None:
+        print(
+            "error: --resume-sweep needs the result cache (drop --no-cache "
+            "and unset REPRO_CACHE=0)",
+            file=sys.stderr,
+        )
+        return 2
     runner = ParallelRunner(
         lanes=args.lanes,
         accesses_per_lane=args.accesses,
         jobs=args.jobs,
         cache=cache,
     )
-    series = runner.run_figure(FIGURES[args.name])
+    try:
+        series = runner.run_figure(FIGURES[args.name], resume=args.resume_sweep)
+    except SweepInterrupted as exc:
+        print(f"\n{exc}", file=sys.stderr)
+        return 130
     apps = sorted({a for values in series.values() for a in values})
     ordered = [a for a in APP_ORDER if a in apps] + [a for a in apps if a not in APP_ORDER]
     print(format_series(args.name, series, ordered))

@@ -209,6 +209,16 @@ class LazyInvalidationController:
                 self._queued_for_walk.update(vpns)
                 yield self.engine.process(self._propagate(vpns, paced=True))
 
+    def snapshot(self) -> dict:
+        """Stats only: at a quiescent instant nothing is queued for or in
+        a walk (the IRMB itself is snapshotted by its owner GPU)."""
+        if self._queued_for_walk or self._inflight_walks or self._cancelled:
+            raise RuntimeError("lazy controller snapshot with work in flight")
+        return {"stats": self.stats.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        self.stats.restore(state["stats"])
+
     def stop(self) -> None:
         """Stop the background writeback loop (end of simulation)."""
         self._stopped = True

@@ -12,9 +12,18 @@ source files.  Any code edit therefore invalidates the whole cache;
 coarse, but always sound, and rebuilding is exactly one figure-suite
 run.
 
-Layout: ``<root>/<key[:2]>/<key>.pkl`` — one pickled ``SimulationResult``
-per entry, written atomically (``os.replace``) so concurrent workers
-racing on the same key can never leave a torn file.
+Layout: ``<root>/<key[:2]>/<key>.pkl`` — one framed, pickled
+``SimulationResult`` per entry, written atomically (``os.replace``) so
+concurrent workers racing on the same key can never leave a torn file.
+
+Entries are *framed* against torn or bit-rotted files: ``RPC1`` magic,
+a little-endian ``u64`` payload length, a 32-byte ``sha256`` digest of
+the payload, then the pickle itself.  :meth:`ResultCache.get` verifies
+all three before unpickling; anything short, overlong, or with a
+mismatched digest is reported with a :class:`RuntimeWarning` and
+treated as a miss (the run is recomputed and the entry overwritten) —
+never an ``UnpicklingError`` escaping into a sweep.  Pre-framing
+legacy entries fail the magic check and are likewise recomputed.
 
 The root directory defaults to ``~/.cache/repro`` (respecting
 ``XDG_CACHE_HOME``) and is overridden by ``REPRO_CACHE_DIR``.
@@ -27,14 +36,28 @@ import hashlib
 import json
 import os
 import pickle
+import struct
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Optional
 
 from ..config import SystemConfig
 from ..metrics.collector import SimulationResult
 
-__all__ = ["ResultCache", "cache_key", "code_version", "default_cache_dir"]
+__all__ = [
+    "ENTRY_MAGIC",
+    "ResultCache",
+    "cache_key",
+    "code_version",
+    "default_cache_dir",
+]
+
+#: cache-entry frame: magic + u64 payload length, then a sha256 digest
+#: of the payload, then the pickled result.
+ENTRY_MAGIC = b"RPC1"
+_ENTRY_HEADER = struct.Struct("<4sQ")
+_DIGEST_LEN = 32
 
 #: memoised per process — the package source does not change mid-run.
 _CODE_VERSION: Optional[str] = None
@@ -118,14 +141,45 @@ class ResultCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
 
+    def _validate(self, blob: bytes) -> bytes:
+        """Return the verified pickle payload or raise ``ValueError``."""
+        if len(blob) < _ENTRY_HEADER.size + _DIGEST_LEN:
+            raise ValueError("truncated header")
+        magic, length = _ENTRY_HEADER.unpack_from(blob)
+        if magic != ENTRY_MAGIC:
+            raise ValueError(f"bad magic {magic!r} (legacy or foreign file)")
+        payload = blob[_ENTRY_HEADER.size + _DIGEST_LEN:]
+        if len(payload) != length:
+            raise ValueError(f"payload length {len(payload)} != recorded {length}")
+        digest = blob[_ENTRY_HEADER.size:_ENTRY_HEADER.size + _DIGEST_LEN]
+        if hashlib.sha256(payload).digest() != digest:
+            raise ValueError("payload digest mismatch")
+        return payload
+
     def get(self, key: str) -> Optional[SimulationResult]:
-        """Cached result for ``key``, or None (miss *or* unreadable
-        entry — a corrupt file is treated as a miss and overwritten by
-        the next :meth:`put`)."""
+        """Cached result for ``key``, or None on a miss.
+
+        A torn, truncated, bit-flipped, or legacy-format entry is
+        *never* an exception: it warns and counts as a miss, so the run
+        is recomputed and the next :meth:`put` overwrites the damage.
+        """
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as fh:
-                result = pickle.load(fh)
-        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = self._validate(blob)
+            result = pickle.loads(payload)
+        except (ValueError, pickle.PickleError, EOFError,
+                AttributeError, ImportError, MemoryError) as exc:
+            warnings.warn(
+                f"discarding corrupt result-cache entry {path}: {exc}; "
+                f"the run will be recomputed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             self.misses += 1
             return None
         self.hits += 1
@@ -136,10 +190,17 @@ class ResultCache:
         key are benign (last rename wins, both files are identical)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _ENTRY_HEADER.pack(ENTRY_MAGIC, len(payload))
+        digest = hashlib.sha256(payload).digest()
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(header)
+                fh.write(digest)
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except OSError:
             try:

@@ -1,0 +1,118 @@
+"""Append-only sweep journal: the supervisor's crash-safe task ledger.
+
+A supervised sweep (:mod:`repro.experiments.parallel`) records every
+task outcome — ``done``, ``failed`` (will be retried), ``quarantined``
+(given up after repeated failures) — as one JSON line appended to a
+journal file living next to the on-disk result cache.  Appends are
+flushed and fsynced per line, so the journal survives a SIGKILLed
+supervisor with at most the in-flight line lost, and a torn trailing
+line is skipped on load rather than poisoning the whole file.
+
+Together with the content-addressed
+:class:`~repro.experiments.cache.ResultCache` this makes sweeps
+resumable: a completed task's *result* lives in the cache under its
+content key, and the journal's ``done`` record proves the key was
+produced by a finished run (not a coincidental stale entry).  A
+``quarantined`` record lets ``--resume-sweep`` skip a poison task
+instead of re-burning its retry budget.
+
+The journal is advisory for ``done`` tasks (the cache alone would
+suffice) but authoritative for quarantine state, which the cache
+deliberately never stores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+__all__ = ["SweepJournal", "journal_path"]
+
+#: terminal statuses — a task with one of these is never re-dispatched
+#: by a resumed sweep (``failed`` is *not* terminal: it re-runs).
+TERMINAL = frozenset({"done", "quarantined"})
+
+
+def journal_path(cache_root: os.PathLike, name: str) -> Path:
+    """Canonical journal location for a named sweep: next to the result
+    cache so the two artifacts required for resume travel together."""
+    return Path(cache_root) / "journals" / f"{name}.jsonl"
+
+
+class SweepJournal:
+    """One append-only JSONL task ledger.
+
+    Records are dicts with at least ``event`` (``done`` / ``failed`` /
+    ``quarantined``) and ``key`` (the task's content-addressed cache
+    key).  ``replay()`` folds the file into a last-writer-wins map.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    # -- writing -------------------------------------------------------------
+
+    def _handle(self):
+        if self._fh is None or self._fh.closed:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def record(self, event: str, key: str, **fields) -> None:
+        """Append one record durably (flush + fsync)."""
+        entry = {"event": event, "key": key}
+        entry.update(fields)
+        fh = self._handle()
+        fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None
+
+    # -- reading -------------------------------------------------------------
+
+    def _lines(self) -> Iterator[dict]:
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                # A torn trailing line from a killed supervisor; any
+                # mid-file corruption also just drops that one record.
+                continue
+            if isinstance(entry, dict) and "event" in entry and "key" in entry:
+                yield entry
+
+    def replay(self) -> Dict[str, dict]:
+        """Fold the journal into ``key -> last record`` (writer order)."""
+        state: Dict[str, dict] = {}
+        for entry in self._lines():
+            state[entry["key"]] = entry
+        return state
+
+    def terminal_keys(self) -> Dict[str, str]:
+        """``key -> status`` for tasks a resumed sweep must not re-run."""
+        return {
+            key: entry["event"]
+            for key, entry in self.replay().items()
+            if entry["event"] in TERMINAL
+        }

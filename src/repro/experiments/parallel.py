@@ -1,20 +1,43 @@
-"""Parallel sweep execution.
+"""Supervised parallel sweep execution.
 
 A figure is a grid of independent ``(app, config, scale)`` simulations;
 nothing about them shares state, so they fan out across processes
 perfectly.  :class:`ParallelRunner` is a drop-in
 :class:`~repro.experiments.runner.ExperimentRunner` that adds:
 
-* :meth:`~ParallelRunner.run_many` — execute a grid over a
-  ``multiprocessing`` pool (``spawn`` context: safe on every platform
-  and immune to fork-vs-thread deadlocks), deduplicating repeated
-  requests and filling both the in-memory memo and the on-disk
+* :meth:`~ParallelRunner.run_many` — execute a grid across supervised
+  worker processes (``spawn`` context: safe on every platform and
+  immune to fork-vs-thread deadlocks), deduplicating repeated requests
+  and filling both the in-memory memo and the on-disk
   :class:`~repro.experiments.cache.ResultCache`;
 * :meth:`~ParallelRunner.run_figure` — run one figure function with a
   *discovery pass* first: the figure is executed against a recording
   runner that hands back placeholder results while noting every run it
   asks for, the noted grid is executed in parallel, and the figure is
   then re-run for real against warm caches.
+
+Supervision (:class:`SweepSupervisor`) is what makes long sweeps
+crash-safe rather than merely parallel:
+
+* each worker owns a private task queue and posts ``start`` /
+  heartbeat / ``done`` / ``error`` messages on a shared result queue;
+* a worker that dies (OOM kill, segfault, SIGKILL) is detected via
+  ``Process.is_alive``, its in-flight task is retried elsewhere, and a
+  replacement worker is spawned;
+* a worker that *hangs* (no heartbeat within the grace window, or a
+  task overrunning its deadline) is killed and treated the same way;
+* failing tasks retry with exponential backoff and are quarantined
+  after ``max_attempts`` strikes — the sweep returns an ``aborted``
+  placeholder for the poison task instead of losing everything else;
+* every outcome is appended to a per-sweep
+  :class:`~repro.experiments.journal.SweepJournal` next to the result
+  cache, and completed results land in the cache immediately, so an
+  interrupted sweep resumes from journal + cache
+  (``repro figure --resume-sweep``) without redoing finished work;
+* SIGINT/SIGTERM trigger a graceful drain — no new dispatches, a
+  bounded wait for in-flight tasks, then explicit terminate → join →
+  kill of every worker (no orphans), and :class:`SweepInterrupted`
+  tells the caller the sweep is resumable.
 
 Results are identical to serial execution: workers funnel through the
 same :func:`repro.experiments.runner.simulate` entry point with the
@@ -26,22 +49,34 @@ else 1 (serial).
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, List, Optional, Sequence, Tuple
+import queue as queue_mod
+import signal
+import sys
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..config import SystemConfig
 from ..metrics.collector import SimulationResult
 from . import runner as _runner_mod
 from .cache import ResultCache
+from .journal import SweepJournal, journal_path
 from .runner import ExperimentRunner, _env_int
 
-__all__ = ["ParallelRunner"]
+__all__ = ["ParallelRunner", "SweepInterrupted", "SweepSupervisor"]
 
 #: one grid entry: (app, config, scale).
 Request = Tuple[str, SystemConfig, float]
 
 
+class SweepInterrupted(RuntimeError):
+    """A supervised sweep was stopped by SIGINT/SIGTERM after a graceful
+    drain.  Completed tasks are already journaled and cached; re-running
+    the sweep (``repro figure --resume-sweep``) continues from there."""
+
+
 def _simulate_job(job: Tuple[str, SystemConfig, float, int, int, int]) -> SimulationResult:
-    """Pool worker body: module-level so ``spawn`` can pickle it."""
+    """Worker task body: module-level so ``spawn`` can pickle it."""
     app, config, scale, lanes, accesses_per_lane, seed = job
     return _runner_mod.simulate(
         app,
@@ -50,6 +85,67 @@ def _simulate_job(job: Tuple[str, SystemConfig, float, int, int, int]) -> Simula
         lanes=lanes,
         accesses_per_lane=accesses_per_lane,
         seed=seed,
+    )
+
+
+def _worker_main(worker_id: int, task_queue, result_queue,
+                 heartbeat_interval: float) -> None:
+    """Supervised worker loop: take tasks, emit heartbeats, post results.
+
+    Workers ignore SIGINT so a ^C lands on the supervisor alone, which
+    drains gracefully and then terminates us explicitly — the fix for
+    the classic orphaned-pool-worker failure mode.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        key = task[0]
+        result_queue.put(("start", worker_id, key, None))
+        stop_beats = threading.Event()
+
+        def beat() -> None:
+            while not stop_beats.wait(heartbeat_interval):
+                try:
+                    result_queue.put(("hb", worker_id, key, None))
+                except Exception:  # pragma: no cover - queue torn down
+                    return
+
+        beats = threading.Thread(target=beat, daemon=True)
+        beats.start()
+        try:
+            result = _simulate_job(task[1:])
+        except BaseException as exc:
+            stop_beats.set()
+            result_queue.put(
+                ("error", worker_id, key, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            stop_beats.set()
+            result_queue.put(("done", worker_id, key, result))
+        beats.join()
+
+
+def _quarantine_result(app: str, config: SystemConfig, reason: str) -> SimulationResult:
+    """Aborted placeholder standing in for a quarantined poison task.
+
+    Metrics are harmless non-zero scalars (same convention as the
+    discovery-pass placeholder) so figure arithmetic cannot divide by
+    zero; ``aborted``/``abort_reason`` carry the real story.
+    """
+    return SimulationResult(
+        workload=app,
+        scheme=config.invalidation_scheme.value,
+        num_gpus=config.num_gpus,
+        exec_time=1,
+        instructions=1000,
+        accesses=1,
+        aborted=True,
+        abort_reason=f"quarantined: {reason}",
     )
 
 
@@ -65,6 +161,391 @@ def _placeholder_result(app: str, config: SystemConfig) -> SimulationResult:
         instructions=1000,
         accesses=1,
     )
+
+
+class _Task:
+    """Supervisor-side state for one grid entry."""
+
+    __slots__ = ("key", "app", "config", "scale", "status", "attempts",
+                 "not_before", "result")
+
+    def __init__(self, key: str, app: str, config: SystemConfig, scale: float) -> None:
+        self.key = key
+        self.app = app
+        self.config = config
+        self.scale = scale
+        self.status = "pending"  # pending | running | done | quarantined
+        self.attempts = 0
+        self.not_before = 0.0
+        self.result: Optional[SimulationResult] = None
+
+
+class _Worker:
+    """Supervisor-side handle for one worker process."""
+
+    __slots__ = ("proc", "queue", "task_key", "assigned_at", "last_beat")
+
+    def __init__(self, proc, queue) -> None:
+        self.proc = proc
+        self.queue = queue
+        self.task_key: Optional[str] = None
+        self.assigned_at = 0.0
+        self.last_beat = 0.0
+
+
+class SweepSupervisor:
+    """Fault-tolerant scheduler for a grid of independent simulations.
+
+    Owns the worker fleet for one :meth:`run` call; see the module
+    docstring for the supervision contract.  ``cache`` and ``journal``
+    are optional — without them results only live in the returned dict.
+    """
+
+    #: result-queue poll interval (seconds): the supervisor's tick.
+    TICK = 0.05
+
+    def __init__(
+        self,
+        *,
+        jobs: int,
+        lanes: int,
+        accesses_per_lane: int,
+        seed: int,
+        cache: Optional[ResultCache] = None,
+        journal: Optional[SweepJournal] = None,
+        max_attempts: int = 3,
+        task_deadline: Optional[float] = None,
+        heartbeat_interval: float = 0.5,
+        heartbeat_grace: Optional[float] = None,
+        backoff_base: float = 0.25,
+        drain_timeout: float = 5.0,
+        terminate_grace: float = 5.0,
+    ) -> None:
+        self.jobs = jobs
+        self.lanes = lanes
+        self.accesses_per_lane = accesses_per_lane
+        self.seed = seed
+        self.cache = cache
+        self.journal = journal
+        self.max_attempts = max(1, max_attempts)
+        self.task_deadline = (
+            task_deadline
+            if task_deadline is not None
+            else float(_env_int("REPRO_TASK_DEADLINE", 600))
+        )
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_grace = (
+            heartbeat_grace
+            if heartbeat_grace is not None
+            else max(10.0 * heartbeat_interval, 5.0)
+        )
+        self.backoff_base = backoff_base
+        self.drain_timeout = drain_timeout
+        self.terminate_grace = terminate_grace
+        # Introspection counters (tests and progress reporting).
+        self.failures = 0
+        self.worker_deaths = 0
+        self.respawns = 0
+        self.quarantined = 0
+        self._workers: Dict[int, _Worker] = {}
+        self._next_worker = 0
+        self._ctx = None
+        self._result_queue = None
+        self._stop = False
+        self._stop_at = 0.0
+
+    # -- public --------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Ask the sweep to drain and stop (signal handlers call this)."""
+        if not self._stop:
+            self._stop = True
+            self._stop_at = time.monotonic()
+
+    def run(self, tasks: Sequence[Tuple[str, str, SystemConfig, float]]
+            ) -> Dict[str, SimulationResult]:
+        """Execute ``(key, app, config, scale)`` tasks; returns
+        ``key -> result`` with every task either done or quarantined.
+
+        Raises :class:`SweepInterrupted` if a signal stopped the sweep
+        before all tasks reached a terminal state.
+        """
+        state: Dict[str, _Task] = {}
+        for key, app, config, scale in tasks:
+            if key not in state:
+                state[key] = _Task(key, app, config, scale)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._result_queue = self._ctx.Queue()
+        restore = self._install_signal_handlers()
+        try:
+            for _ in range(min(self.jobs, len(state))):
+                self._spawn_worker()
+            while True:
+                open_tasks = [
+                    t for t in state.values() if t.status in ("pending", "running")
+                ]
+                if not open_tasks:
+                    break
+                if self._stop:
+                    running = any(t.status == "running" for t in state.values())
+                    drained = time.monotonic() > self._stop_at + self.drain_timeout
+                    if not running or drained:
+                        break
+                else:
+                    self._dispatch(state)
+                self._pump(state)
+                self._check_liveness(state)
+        finally:
+            self._terminate_workers()
+            self._restore_signal_handlers(restore)
+            try:
+                self._result_queue.close()
+                self._result_queue.cancel_join_thread()
+            except Exception:
+                pass
+        remaining = sum(
+            1 for t in state.values() if t.status in ("pending", "running")
+        )
+        if remaining:
+            done = sum(1 for t in state.values() if t.status == "done")
+            raise SweepInterrupted(
+                f"sweep interrupted with {remaining} task(s) unfinished "
+                f"({done}/{len(state)} done, journaled and cached); "
+                f"re-run with --resume-sweep to continue"
+            )
+        return {key: task.result for key, task in state.items()}
+
+    # -- signals -------------------------------------------------------------
+
+    def _install_signal_handlers(self):
+        if threading.current_thread() is not threading.main_thread():
+            return []
+        installed = []
+
+        def handler(signum, frame):
+            if self._stop:
+                raise KeyboardInterrupt
+            self.request_stop()
+            print(
+                "[repro] sweep: caught signal, draining workers "
+                "(interrupt again to force)",
+                file=sys.stderr,
+            )
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                installed.append((sig, signal.signal(sig, handler)))
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        return installed
+
+    def _restore_signal_handlers(self, installed) -> None:
+        for sig, old in installed:
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    # -- workers -------------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        wid = self._next_worker
+        self._next_worker += 1
+        task_queue = self._ctx.Queue()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(wid, task_queue, self._result_queue, self.heartbeat_interval),
+            daemon=True,
+            name=f"repro-sweep-{wid}",
+        )
+        proc.start()
+        self._workers[wid] = _Worker(proc, task_queue)
+
+    def _retire_worker(self, wid: int) -> None:
+        worker = self._workers.pop(wid, None)
+        if worker is None:
+            return
+        try:
+            worker.queue.close()
+            worker.queue.cancel_join_thread()
+        except Exception:  # pragma: no cover
+            pass
+
+    def _terminate_workers(self) -> None:
+        """Terminate → join → kill every worker; never leaves orphans,
+        even for a child that shrugs off the first (TERM) signal."""
+        workers = list(self._workers.values())
+        self._workers.clear()
+        for worker in workers:
+            try:
+                worker.queue.put_nowait(None)
+            except Exception:
+                pass
+        for worker in workers:
+            if worker.proc.is_alive():
+                try:
+                    worker.proc.terminate()
+                except Exception:  # pragma: no cover
+                    pass
+        deadline = time.monotonic() + self.terminate_grace
+        for worker in workers:
+            worker.proc.join(max(0.05, deadline - time.monotonic()))
+        for worker in workers:
+            if worker.proc.is_alive():
+                try:
+                    worker.proc.kill()
+                except Exception:  # pragma: no cover
+                    pass
+                worker.proc.join(5.0)
+        for worker in workers:
+            try:
+                worker.queue.close()
+                worker.queue.cancel_join_thread()
+            except Exception:  # pragma: no cover
+                pass
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _dispatch(self, state: Dict[str, _Task]) -> None:
+        now = time.monotonic()
+        for worker in self._workers.values():
+            if worker.task_key is not None or not worker.proc.is_alive():
+                continue
+            task = next(
+                (
+                    t for t in state.values()
+                    if t.status == "pending" and t.not_before <= now
+                ),
+                None,
+            )
+            if task is None:
+                return
+            task.status = "running"
+            worker.task_key = task.key
+            worker.assigned_at = now
+            worker.last_beat = now
+            worker.queue.put((
+                task.key, task.app, task.config, task.scale,
+                self.lanes, self.accesses_per_lane, self.seed,
+            ))
+
+    def _pump(self, state: Dict[str, _Task]) -> None:
+        try:
+            msg = self._result_queue.get(timeout=self.TICK)
+        except queue_mod.Empty:
+            return
+        except Exception:  # pragma: no cover - torn queue from a killed worker
+            return
+        self._handle(msg, state)
+        while True:
+            try:
+                msg = self._result_queue.get_nowait()
+            except queue_mod.Empty:
+                return
+            except Exception:  # pragma: no cover
+                return
+            self._handle(msg, state)
+
+    def _handle(self, msg, state: Dict[str, _Task]) -> None:
+        kind, wid, key, payload = msg
+        worker = self._workers.get(wid)
+        if kind in ("start", "hb"):
+            if worker is not None:
+                worker.last_beat = time.monotonic()
+            return
+        task = state.get(key)
+        if task is not None:
+            if kind == "done":
+                self._complete(task, payload)
+            elif kind == "error":
+                self._fail(task, payload)
+        if worker is not None and worker.task_key == key:
+            worker.task_key = None
+
+    def _check_liveness(self, state: Dict[str, _Task]) -> None:
+        now = time.monotonic()
+        for wid in list(self._workers):
+            worker = self._workers[wid]
+            if not worker.proc.is_alive():
+                key = worker.task_key
+                exitcode = worker.proc.exitcode
+                self.worker_deaths += 1
+                self._retire_worker(wid)
+                if key is not None and key in state:
+                    self._fail(state[key], f"worker died (exit code {exitcode})")
+                continue
+            if worker.task_key is None:
+                continue
+            hung = now - worker.last_beat > self.heartbeat_grace
+            overdue = now - worker.assigned_at > self.task_deadline
+            if hung or overdue:
+                reason = (
+                    "no heartbeat for "
+                    f"{now - worker.last_beat:.1f}s"
+                    if hung
+                    else f"task deadline exceeded ({self.task_deadline:.0f}s)"
+                )
+                key = worker.task_key
+                try:
+                    worker.proc.kill()
+                except Exception:  # pragma: no cover
+                    pass
+                worker.proc.join(self.terminate_grace)
+                self.worker_deaths += 1
+                self._retire_worker(wid)
+                if key in state:
+                    self._fail(state[key], f"worker hung: {reason}")
+        if not self._stop:
+            open_tasks = sum(
+                1 for t in state.values() if t.status in ("pending", "running")
+            )
+            while len(self._workers) < min(self.jobs, open_tasks):
+                self._spawn_worker()
+                self.respawns += 1
+
+    # -- outcomes ------------------------------------------------------------
+
+    def _complete(self, task: _Task, result: SimulationResult) -> None:
+        task.status = "done"
+        task.result = result
+        if self.cache is not None:
+            self.cache.put(task.key, result)
+        if self.journal is not None:
+            self.journal.record(
+                "done", task.key, app=task.app, attempt=task.attempts + 1
+            )
+
+    def _fail(self, task: _Task, reason: str) -> None:
+        if task.status == "done":
+            return
+        task.attempts += 1
+        self.failures += 1
+        reason = str(reason)[:500]
+        if self.journal is not None:
+            self.journal.record(
+                "failed", task.key, app=task.app, attempt=task.attempts,
+                reason=reason,
+            )
+        if task.attempts >= self.max_attempts:
+            task.status = "quarantined"
+            task.result = _quarantine_result(task.app, task.config, reason)
+            self.quarantined += 1
+            if self.journal is not None:
+                self.journal.record(
+                    "quarantined", task.key, app=task.app,
+                    attempt=task.attempts, reason=reason,
+                )
+            print(
+                f"[repro] sweep: quarantined {task.app} after "
+                f"{task.attempts} attempts: {reason}",
+                file=sys.stderr,
+            )
+        else:
+            task.status = "pending"
+            task.not_before = (
+                time.monotonic()
+                + self.backoff_base * (2 ** (task.attempts - 1))
+            )
 
 
 class _RecordingRunner(ExperimentRunner):
@@ -84,8 +565,10 @@ class _RecordingRunner(ExperimentRunner):
 
 
 class ParallelRunner(ExperimentRunner):
-    """Experiment runner that fans independent runs over worker
-    processes; serial semantics otherwise (same memo, same cache)."""
+    """Experiment runner that fans independent runs over supervised
+    worker processes; serial semantics otherwise (same memo, same
+    cache).  Supervision knobs pass straight to
+    :class:`SweepSupervisor`."""
 
     def __init__(
         self,
@@ -94,6 +577,7 @@ class ParallelRunner(ExperimentRunner):
         seed: Optional[int] = None,
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        **supervisor_opts,
     ) -> None:
         super().__init__(
             lanes=lanes, accesses_per_lane=accesses_per_lane, seed=seed, cache=cache
@@ -101,70 +585,122 @@ class ParallelRunner(ExperimentRunner):
         self.jobs = jobs if jobs is not None else _env_int("REPRO_JOBS", 1)
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.supervisor_opts = supervisor_opts
+        #: live supervisor during a run_many (tests and chaos drivers
+        #: reach in to kill workers / request stops).
+        self._supervisor: Optional[SweepSupervisor] = None
 
     # -- grid execution ------------------------------------------------------
 
-    def run_many(self, requests: Sequence[Request]) -> List[SimulationResult]:
+    def _journal_for(self, sweep_name: Optional[str]) -> Optional[SweepJournal]:
+        if self.cache is None:
+            return None
+        return SweepJournal(journal_path(self.cache.root, sweep_name or "sweep"))
+
+    def run_many(
+        self,
+        requests: Sequence[Request],
+        *,
+        sweep_name: Optional[str] = None,
+        resume: bool = False,
+    ) -> List[SimulationResult]:
         """Execute a grid; returns results in request order.
 
         Already-memoised and disk-cached entries are served without
-        touching the pool; the rest run ``jobs``-wide.  Repeated
-        requests for the same run are simulated exactly once.
+        touching the workers; the rest run ``jobs``-wide under the
+        supervisor.  Repeated requests for the same run are simulated
+        exactly once.  With ``resume=True`` (and a cache), tasks the
+        sweep journal marks quarantined are served as aborted
+        placeholders instead of re-burning their retry budget; done
+        tasks resume from the cache as usual.
         """
         requests = [
             (app, config, scale)
             for (app, config, *rest) in requests
             for scale in [rest[0] if rest else 1.0]
         ]
-        todo: List[Request] = []
-        seen = set()
-        for app, config, scale in requests:
-            key = ("run", app, scale, self.lanes, self.seed,
-                   self._lane_budget(config.num_gpus), config)
-            if key in self._results or key in seen:
-                continue
-            if self.cache is not None:
-                cached = self.cache.get(self.disk_key(app, config, scale))
-                if cached is not None:
-                    self._results[key] = cached
-                    continue
-            seen.add(key)
-            todo.append((app, config, scale))
-
-        if todo:
-            if self.jobs == 1 or len(todo) == 1:
-                fresh = [
-                    _simulate_job(
-                        (app, config, scale, self.lanes, self.accesses_per_lane, self.seed)
-                    )
-                    for app, config, scale in todo
-                ]
-            else:
-                jobs = [
-                    (app, config, scale, self.lanes, self.accesses_per_lane, self.seed)
-                    for app, config, scale in todo
-                ]
-                context = multiprocessing.get_context("spawn")
-                with context.Pool(processes=min(self.jobs, len(jobs))) as pool:
-                    fresh = pool.map(_simulate_job, jobs)
-            for (app, config, scale), result in zip(todo, fresh):
+        journal = (
+            self._journal_for(sweep_name) if (self.jobs > 1 or resume) else None
+        )
+        try:
+            terminal = journal.terminal_keys() if (resume and journal) else {}
+            todo: List[Tuple[str, str, SystemConfig, float]] = []
+            seen = set()
+            for app, config, scale in requests:
                 key = ("run", app, scale, self.lanes, self.seed,
                        self._lane_budget(config.num_gpus), config)
-                self._results[key] = result
+                if key in self._results or key in seen:
+                    continue
+                disk_key = self.disk_key(app, config, scale)
                 if self.cache is not None:
-                    self.cache.put(self.disk_key(app, config, scale), result)
+                    cached = self.cache.get(disk_key)
+                    if cached is not None:
+                        self._results[key] = cached
+                        continue
+                if terminal.get(disk_key) == "quarantined":
+                    self._results[key] = _quarantine_result(
+                        app, config,
+                        "skipped on resume (quarantined in sweep journal)",
+                    )
+                    continue
+                seen.add(key)
+                todo.append((disk_key, app, config, scale))
+
+            if todo:
+                if self.jobs == 1 or len(todo) == 1:
+                    for disk_key, app, config, scale in todo:
+                        result = _simulate_job(
+                            (app, config, scale,
+                             self.lanes, self.accesses_per_lane, self.seed)
+                        )
+                        self._store(disk_key, app, config, scale, result, journal)
+                else:
+                    supervisor = SweepSupervisor(
+                        jobs=self.jobs,
+                        lanes=self.lanes,
+                        accesses_per_lane=self.accesses_per_lane,
+                        seed=self.seed,
+                        cache=self.cache,
+                        journal=journal,
+                        **self.supervisor_opts,
+                    )
+                    self._supervisor = supervisor
+                    try:
+                        fresh = supervisor.run(todo)
+                    finally:
+                        self._supervisor = None
+                    for disk_key, app, config, scale in todo:
+                        # Cache/journal already filled by the supervisor.
+                        key = ("run", app, scale, self.lanes, self.seed,
+                               self._lane_budget(config.num_gpus), config)
+                        self._results[key] = fresh[disk_key]
+        finally:
+            if journal is not None:
+                journal.close()
 
         # Everything is memoised now; the base run() never simulates.
         return [super(ParallelRunner, self).run(app, config, scale)
                 for app, config, scale in requests]
 
+    def _store(self, disk_key, app, config, scale, result, journal) -> None:
+        key = ("run", app, scale, self.lanes, self.seed,
+               self._lane_budget(config.num_gpus), config)
+        self._results[key] = result
+        if self.cache is not None:
+            self.cache.put(disk_key, result)
+        if journal is not None:
+            journal.record("done", disk_key, app=app, attempt=1)
+
     # -- figure orchestration ------------------------------------------------
 
     def prefetch_figure(
-        self, figure_fn: Callable[[ExperimentRunner], dict]
+        self,
+        figure_fn: Callable[[ExperimentRunner], dict],
+        *,
+        resume: bool = False,
     ) -> int:
-        """Discover the grid one figure needs and execute it in
-        parallel; returns the number of distinct runs the figure uses.
+        """Discover the grid one figure needs and execute it under the
+        supervisor; returns the number of distinct runs the figure uses.
 
         Discovery is best-effort: if the figure's post-processing chokes
         on placeholder numbers, whatever was recorded up to that point
@@ -175,10 +711,19 @@ class ParallelRunner(ExperimentRunner):
             figure_fn(recorder)
         except Exception:
             pass
-        self.run_many(recorder.requests)
+        self.run_many(
+            recorder.requests, sweep_name=figure_fn.__name__, resume=resume
+        )
         return len(set(recorder.requests))
 
-    def run_figure(self, figure_fn: Callable[[ExperimentRunner], dict]) -> dict:
-        """Run one figure function with a parallel prefetch of its grid."""
-        self.prefetch_figure(figure_fn)
+    def run_figure(
+        self,
+        figure_fn: Callable[[ExperimentRunner], dict],
+        *,
+        resume: bool = False,
+    ) -> dict:
+        """Run one figure function with a supervised prefetch of its
+        grid; ``resume=True`` continues an interrupted sweep from its
+        journal and cache."""
+        self.prefetch_figure(figure_fn, resume=resume)
         return figure_fn(self)

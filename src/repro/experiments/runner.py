@@ -112,14 +112,36 @@ def simulate(
     accesses_per_lane: int,
     seed: int,
     workload: Optional[Workload] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume_from: Optional[str] = None,
 ) -> SimulationResult:
     """Run one simulation — the single entry point every runner (serial,
     parallel worker, bench harness) funnels through.
 
     Deterministic in all arguments: equal inputs produce an equal
     :class:`SimulationResult`, which is what makes both the in-memory
-    memo and the on-disk cache sound.
+    memo and the on-disk cache sound.  The checkpoint arguments do not
+    participate in cache keys: a checkpointed (or resumed) run produces
+    the same result as an uninterrupted one (see
+    :mod:`repro.sim.snapshot`), so they are observability knobs, not
+    inputs.
     """
+    if resume_from is not None:
+        from ..sim.snapshot import resume_run
+
+        system, result = resume_run(
+            resume_from,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+        )
+        if result.aborted:
+            print(
+                f"[repro] WARNING: resumed run aborted "
+                f"(checkpoint={resume_from}): {result.abort_reason}",
+                file=sys.stderr,
+            )
+        return result
     if workload is None:
         workload = build_app_workload(
             app,
@@ -131,7 +153,9 @@ def simulate(
             seed=seed,
         )
     system = MultiGPUSystem(config, seed=seed)
-    result = system.run(workload)
+    result = system.run(
+        workload, checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir
+    )
     if result.aborted:
         # The watchdog or an invariant auditor killed the run.  The
         # partial statistics are still flushed into the result (marked

@@ -150,27 +150,41 @@ def audit_system(system) -> List[str]:
     return violations
 
 
-def audit_loop(system, interval: int, active_fn: Callable[[], bool]):
+def _audit_once(system, active_fn: Callable[[], bool]) -> bool:
+    """One periodic audit; False means the loop should exit."""
+    engine = system.engine
+    if not active_fn():
+        return False
+    system.audits_run += 1
+    violations = audit_system(system)
+    if violations:
+        if engine.tracer.enabled:
+            engine.tracer.emit("audit.fail", "auditor", count=len(violations))
+        raise InvariantViolation(
+            f"invariant audit failed at cycle {engine.now}: {violations[0]}"
+            + (f" (+{len(violations) - 1} more)" if len(violations) > 1 else ""),
+            dump=protocol_dump(system, violations),
+        )
+    if engine.tracer.enabled:
+        engine.tracer.emit("audit.pass", "auditor")
+    return True
+
+
+def audit_loop(system, interval: int, active_fn: Callable[[], bool],
+               resume_event=None):
     """Process body: periodic audits every ``interval`` cycles while the
     simulation is active; raises :class:`InvariantViolation` on the first
-    inconsistent snapshot."""
-    engine = system.engine
+    inconsistent snapshot.  ``resume_event`` (checkpoint restore) stands
+    in for the first interval wait: it is fired by a restored calendar
+    entry at the original tick's exact time and sequence."""
+    if resume_event is not None:
+        yield resume_event
+        if not _audit_once(system, active_fn):
+            return
     while True:
         yield interval
-        if not active_fn():
+        if not _audit_once(system, active_fn):
             return
-        system.audits_run += 1
-        violations = audit_system(system)
-        if violations:
-            if engine.tracer.enabled:
-                engine.tracer.emit("audit.fail", "auditor", count=len(violations))
-            raise InvariantViolation(
-                f"invariant audit failed at cycle {engine.now}: {violations[0]}"
-                + (f" (+{len(violations) - 1} more)" if len(violations) > 1 else ""),
-                dump=protocol_dump(system, violations),
-            )
-        if engine.tracer.enabled:
-            engine.tracer.emit("audit.pass", "auditor")
 
 
 def protocol_dump(system, violations: Optional[List[str]] = None) -> str:

@@ -101,6 +101,110 @@ class Lane:
         for _ in range(capacity):
             yield window.request()
 
+    def attach_window(self, in_use: int = 0) -> None:
+        """Recreate the in-flight window on checkpoint restore.
+
+        ``run()``'s prelude normally builds the window; a restored lane
+        enters through :meth:`resume_run`, which expects it attached with
+        ``in_use`` slots held by the in-flight accesses whose release
+        events the restore pushed back onto the calendar."""
+        capacity = self.gpu.config.inflight_per_cu
+        window = Resource(self.gpu.engine, capacity)
+        window._in_use = in_use
+        self._window = window
+        self._capacity = capacity
+
+    def resume_run(self, phase: str, index: int, resume_event=None,
+                   remaining: int = 0, arrival: int = 0, ring=None,
+                   backed: int = 0):
+        """Process body continuing a checkpoint-restored lane mid-trace.
+
+        ``phase`` names where ``run()`` was suspended at snapshot time:
+
+        * ``"gap"``    — a bare-int compute/arrival wait; ``resume_event``
+          is fired by a restored calendar entry at the original resume
+          time and sequence.
+        * ``"window"`` — blocked on a window grant; the restored release
+          events reproduce the original FIFO grant.
+        * ``"parked"`` — handed to the batched fast path; re-park with
+          the saved replay state.
+        * ``"drain"``  — end-of-trace drain with ``remaining`` grants
+          still owed.
+
+        The post-prelude body MUST mirror run()'s loop exactly (it is a
+        deliberate copy, not a shared helper: run() is the hottest loop
+        in the simulator and must not pay delegation overhead).
+        """
+        gpu = self.gpu
+        engine = gpu.engine
+        window = self._window
+        capacity = self._capacity
+        gaps = self._gaps
+        vpns = self._vpns
+        writes = self._writes
+        n = self._n
+        releases = self._releases
+        fp = gpu.fastpath
+        lane_id = self.lane_id
+        try_fast = gpu.try_fast_access
+        schedule = engine.schedule
+        request = window.request
+        i = index
+
+        if phase == "drain":
+            for _ in range(remaining):
+                yield request()
+            return
+
+        # Prelude: re-enter the suspended iteration of access ``i``.
+        if phase == "parked":
+            i, arrival = yield fp.repark(self, index, arrival, ring, backed)
+            if i >= n:
+                for _ in range(capacity):
+                    yield request()
+                return
+            wait = arrival - engine.now
+            if wait > 0:
+                yield wait
+            yield request()
+        elif phase == "gap":
+            yield resume_event
+            yield request()
+        else:  # "window"
+            yield request()
+
+        # From here on: an exact mirror of run()'s loop body, entered
+        # just after the window grant for access ``i``.
+        while True:
+            gpu.instructions += gaps[i] + 1
+            vpn = vpns[i]
+            is_write = bool(writes[i])
+            latency = try_fast(lane_id, vpn, is_write)
+            if latency is not None:
+                if fp is not None:
+                    releases.append(engine.now + latency)
+                schedule(latency, window.release)
+            else:
+                self._slow += 1
+                Process(engine, self._one_access(vpn, is_write, window))
+            i += 1
+            if i >= n:
+                break
+            if fp is not None and self._slow == 0 and fp.eligible():
+                i, arrival = yield fp.park(self, i)
+                if i >= n:
+                    break
+                wait = arrival - engine.now
+                if wait > 0:
+                    yield wait
+            else:
+                gap = gaps[i]
+                if gap:
+                    yield gap
+            yield request()
+        for _ in range(capacity):
+            yield request()
+
     def _one_access(self, vpn: int, is_write: bool, window: Resource):
         try:
             yield from self.gpu.access(self.lane_id, vpn, is_write)

@@ -181,6 +181,28 @@ class FastPath:
         self.parks += 1
         return rec.event
 
+    def repark(self, lane, index: int, arrival: int, ring, backed: int) -> Event:
+        """Re-register a lane parked at checkpoint time with its saved
+        replay state (checkpoint restore).  Unlike :meth:`park` this must
+        not recompute ``arrival`` — the saved value already accounts for
+        the partially-elapsed gap — nor trim the release ring, which was
+        snapshotted verbatim."""
+        engine = self.engine
+        rec = ParkedLane(
+            lane,
+            Event(engine),
+            index,
+            arrival,
+            deque(ring),
+            backed,
+            lane.gpu.inval_generation,
+        )
+        if not self._parked:
+            engine.batcher = self.try_batch
+        self._parked[lane] = rec
+        self._parked_windows.add(id(lane._window))
+        return rec.event
+
     def _unpark(self, rec: ParkedLane) -> None:
         lane = rec.lane
         window = lane._window

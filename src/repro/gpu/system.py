@@ -91,6 +91,19 @@ class MultiGPUSystem:
         self.abort_reason: str = ""
         self.abort_dump: str = ""
         self.audits_run: int = 0
+        # Run-time registries (populated by run()/restore): checkpointing
+        # classifies calendar entries by the identity of these objects.
+        self._lanes: list = []
+        self._lane_procs: dict = {}
+        self._master_done: bool = False
+        self._master_proc = None
+        self._watchdog = None
+        self._audit_proc = None
+        self._controller = None
+        #: restored one-shot resume events still sitting in the calendar,
+        #: keyed by id(event) -> (kind, lane_index, event).  The event
+        #: reference keeps the object alive so ids are never reused.
+        self._resume_symbols: dict = {}
 
     # ------------------------------------------------------------------
     # Liveness / consistency hooks
@@ -117,7 +130,7 @@ class MultiGPUSystem:
             total += driver_stats.counter(name).value
         return total
 
-    def run(self, workload) -> "SimulationResult":
+    def run(self, workload, checkpoint_every=None, checkpoint_dir=None) -> "SimulationResult":
         """Replay ``workload`` to completion; returns collected metrics.
 
         The reported execution time is the cycle at which every lane has
@@ -128,6 +141,9 @@ class MultiGPUSystem:
         On a watchdog or auditor abort the partial statistics are still
         collected; the result is marked ``aborted`` and carries the
         protocol-state dump instead of silently losing the run.
+
+        ``checkpoint_every``/``checkpoint_dir`` arm the periodic
+        checkpoint controller (see :mod:`repro.sim.snapshot`).
         """
         if len(workload.traces) != self.config.num_gpus:
             raise ValueError(
@@ -139,31 +155,54 @@ class MultiGPUSystem:
             for lane_id, trace in enumerate(gpu_traces):
                 if lane_id >= self.config.trace_lanes:
                     raise ValueError("workload has more lanes than config.trace_lanes")
-                lane_processes.append(self.engine.process(Lane(gpu, lane_id, trace).run()))
+                lane = Lane(gpu, lane_id, trace)
+                proc = self.engine.process(lane.run())
+                self._lanes.append(lane)
+                self._lane_procs[proc] = lane
+                lane_processes.append(proc)
 
-        master_done = [False]
+        self._spawn_master(lane_processes)
+        self._spawn_supervisors()
+        if checkpoint_every:
+            from ..sim.snapshot import CheckpointController
 
+            self._controller = CheckpointController(
+                self, workload, checkpoint_every, checkpoint_dir
+            )
+        return self._finish(workload)
+
+    def _spawn_master(self, lane_processes) -> None:
         def master():
             """Records end-to-end time once every lane retires."""
-            yield AllOf(self.engine, lane_processes)
+            if lane_processes:
+                yield AllOf(self.engine, lane_processes)
             self.finish_time = self.engine.now
-            master_done[0] = True
+            self._master_done = True
             for gpu in self.gpus:
                 if gpu.lazy is not None:
                     gpu.lazy.stop()
 
-        self.engine.process(master())
+        self._master_proc = self.engine.process(master())
 
+    def still_active(self) -> bool:
+        if not self._master_done:
+            return True
+        tracker = self.driver.tracker
+        return tracker is not None and tracker.has_pending()
+
+    def _spawn_supervisors(self, watchdog_resume=None, audit_resume=None,
+                           watchdog: bool = True, audit: bool = True) -> None:
+        """Arm the watchdog and periodic auditor per the fault config.
+
+        The resume events (checkpoint restore) stand in for each loop's
+        first interval wait; ``None`` spawns the regular loops.
+        ``watchdog``/``audit`` let a restore skip a supervisor whose loop
+        had already exited at snapshot time (simulation finished).
+        """
         faults = self.config.faults
         tracker = self.driver.tracker
-
-        def still_active() -> bool:
-            if not master_done[0]:
-                return True
-            return tracker is not None and tracker.has_pending()
-
-        if faults.watchdog_active:
-            LivenessWatchdog(
+        if watchdog and faults.watchdog_active:
+            self._watchdog = LivenessWatchdog(
                 self.engine,
                 interval=faults.watchdog_interval,
                 stall_window=faults.watchdog_stall_window,
@@ -174,14 +213,22 @@ class MultiGPUSystem:
                     if tracker is not None
                     else None
                 ),
-                active_fn=still_active,
+                active_fn=self.still_active,
+                start=watchdog_resume is None,
             )
-        if faults.audit_interval > 0:
-            self.engine.process(audit_loop(self, faults.audit_interval, still_active))
+            if watchdog_resume is not None:
+                self._watchdog.start_resumed(watchdog_resume)
+        if audit and faults.audit_interval > 0:
+            self._audit_proc = self.engine.process(
+                audit_loop(self, faults.audit_interval, self.still_active,
+                           resume_event=audit_resume)
+            )
 
+    def _finish(self, workload) -> "SimulationResult":
+        faults = self.config.faults
         try:
             self.engine.run()
-            if not master_done[0]:
+            if not self._master_done:
                 # The calendar drained with lanes still blocked: an
                 # outright deadlock (e.g. a lost ack with the watchdog
                 # disabled).  Refuse to report it as a completed run.
@@ -203,8 +250,13 @@ class MultiGPUSystem:
             self.aborted = True
             self.abort_reason = str(abort)
             self.abort_dump = abort.dump
-            if not master_done[0]:
+            if not self._master_done:
                 self.finish_time = self.engine.now
+            if self._controller is not None:
+                # Best-effort emergency checkpoint next to the periodic
+                # ones, so an aborted run can be re-examined or resumed
+                # (with faults disabled) from its last consistent state.
+                self._controller.write_emergency(workload)
 
         from ..metrics.collector import collect
 

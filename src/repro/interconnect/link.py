@@ -190,6 +190,16 @@ class Link:
             self.owner.inflight -= 1
         done.succeed()
 
+    def snapshot(self) -> dict:
+        """Stats only: at a quiescent instant the port is free and no
+        payload is on the wire."""
+        if self._port._in_use or self._port._waiters:
+            raise RuntimeError("link snapshot with a transfer in flight")
+        return {"stats": self.stats.snapshot()}
+
+    def restore(self, state: dict) -> None:
+        self.stats.restore(state["stats"])
+
     def send_control(self) -> Event:
         """Transfer of one small control packet."""
         return self.transfer(CONTROL_MESSAGE_BYTES)

@@ -71,6 +71,24 @@ class Interconnect:
         self._check_gpu(gpu)
         return self._pcie_down[gpu].transfer(num_bytes, extra_delay)
 
+    def snapshot(self) -> dict:
+        if self.inflight:
+            raise RuntimeError("interconnect snapshot with transfers in flight")
+        return {
+            "nvlink_out": {g: l.snapshot() for g, l in self._nvlink_out.items()},
+            "pcie_up": {g: l.snapshot() for g, l in self._pcie_up.items()},
+            "pcie_down": {g: l.snapshot() for g, l in self._pcie_down.items()},
+        }
+
+    def restore(self, state: dict) -> None:
+        self.inflight = 0
+        for g, l in self._nvlink_out.items():
+            l.restore(state["nvlink_out"][g])
+        for g, l in self._pcie_up.items():
+            l.restore(state["pcie_up"][g])
+        for g, l in self._pcie_down.items():
+            l.restore(state["pcie_down"][g])
+
     def nvlink_bytes(self) -> int:
         return sum(l.stats.counter("bytes").value for l in self._nvlink_out.values())
 

@@ -453,6 +453,7 @@ class LivenessWatchdog:
         dump_fn: Callable[[], str] = lambda: "",
         deadline_fn: Optional[Callable[[], Optional[str]]] = None,
         active_fn: Optional[Callable[[], bool]] = None,
+        start: bool = True,
     ) -> None:
         if interval < 1:
             raise SimulationError("watchdog interval must be >= 1 cycle")
@@ -469,7 +470,11 @@ class LivenessWatchdog:
         self._stopped = False
         self._last_progress = progress_fn()
         self._last_change = engine.now
-        engine.process(self._loop())
+        #: the loop Process (checkpoint restore classifies its calendar
+        #: entry by identity; ``start=False`` defers spawning it).
+        self._proc: Optional["Process"] = (
+            engine.process(self._loop()) if start else None
+        )
 
     def stop(self) -> None:
         """Let the loop exit at its next tick (simulation finished)."""
@@ -481,25 +486,59 @@ class LivenessWatchdog:
             tracer.emit("watchdog.abort", "watchdog", reason=reason)
         raise WatchdogError(reason, dump=self.dump_fn())
 
+    def _tick(self) -> bool:
+        """One periodic check; False means the loop should exit."""
+        if self._stopped or (self.active_fn is not None and not self.active_fn()):
+            return False
+        self.checks += 1
+        if self.deadline_fn is not None:
+            violated = self.deadline_fn()
+            if violated:
+                self._abort(f"hard deadline exceeded: {violated}")
+        progress = self.progress_fn()
+        if progress != self._last_progress:
+            self._last_progress = progress
+            self._last_change = self.engine.now
+        elif self.engine.now - self._last_change >= self.stall_window:
+            self._abort(
+                f"no forward progress for {self.engine.now - self._last_change} "
+                f"cycles (metric stuck at {progress})"
+            )
+        return True
+
     def _loop(self):
         while True:
             yield self.interval
-            if self._stopped or (self.active_fn is not None and not self.active_fn()):
+            if not self._tick():
                 return
-            self.checks += 1
-            if self.deadline_fn is not None:
-                violated = self.deadline_fn()
-                if violated:
-                    self._abort(f"hard deadline exceeded: {violated}")
-            progress = self.progress_fn()
-            if progress != self._last_progress:
-                self._last_progress = progress
-                self._last_change = self.engine.now
-            elif self.engine.now - self._last_change >= self.stall_window:
-                self._abort(
-                    f"no forward progress for {self.engine.now - self._last_change} "
-                    f"cycles (metric stuck at {progress})"
-                )
+
+    def _resumed_loop(self, resume_event: "Event"):
+        """Loop body for a checkpoint-restored watchdog: the first tick
+        arrives via a restored calendar entry firing ``resume_event`` (at
+        the original tick's exact time and sequence), then the regular
+        periodic cadence continues."""
+        yield resume_event
+        if not self._tick():
+            return
+        while True:
+            yield self.interval
+            if not self._tick():
+                return
+
+    def start_resumed(self, resume_event: "Event") -> None:
+        self._proc = self.engine.process(self._resumed_loop(resume_event))
+
+    def snapshot(self) -> dict:
+        return {
+            "checks": self.checks,
+            "last_progress": self._last_progress,
+            "last_change": self._last_change,
+        }
+
+    def restore(self, state: dict) -> None:
+        self.checks = state["checks"]
+        self._last_progress = state["last_progress"]
+        self._last_change = state["last_change"]
 
 
 class Process(Event):

@@ -542,6 +542,55 @@ class UVMDriver:
             self.tracker.deliver_ack(pending)
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Aggregate plain-data state at a quiescent instant: no fault,
+        migration, or invalidation may be in flight."""
+        if (
+            self._inflight_faults
+            or self._gates
+            or self._migrating
+            or self._inflight_invals
+            or len(self.fault_queue)
+            or (self.tracker is not None and self.tracker.has_pending())
+        ):
+            raise RuntimeError("driver snapshot with episodes in flight")
+        state = {
+            "stale_accepted": sorted(self._stale_accepted),
+            "host_page_table": self.host_page_table.snapshot(),
+            "counters": self.counters.snapshot(),
+            "replicas": self.replicas.snapshot(),
+            "generation": dict(self._generation),
+            "pinned": sorted(self._pinned),
+            "stats": self.stats.snapshot(),
+        }
+        if self.directory is not None:
+            state["directory"] = self.directory.snapshot()
+        if self.tracker is not None:
+            state["tracker"] = self.tracker.snapshot()
+        return state
+
+    def restore(self, state: dict) -> None:
+        self._stale_accepted.clear()
+        self._stale_accepted.update(tuple(p) for p in state["stale_accepted"])
+        self.host_page_table.restore(state["host_page_table"])
+        self.counters.restore(state["counters"])
+        self.replicas.restore(state["replicas"])
+        self._generation.clear()
+        self._generation.update(state["generation"])
+        self._pinned.clear()
+        self._pinned.update(state["pinned"])
+        # The tracker shares the driver's StatsGroup, so restoring stats
+        # once here covers both.
+        self.stats.restore(state["stats"])
+        if self.directory is not None:
+            self.directory.restore(state["directory"])
+        if self.tracker is not None:
+            self.tracker.restore(state["tracker"])
+
+    # ------------------------------------------------------------------
     # Page replication (§7.4)
     # ------------------------------------------------------------------
 

@@ -76,8 +76,64 @@ class TestResultCacheStore:
         cache.put(key, self._result())
         path = cache._path(key)
         path.write_bytes(b"not a pickle")
-        assert cache.get(key) is None
+        import pytest
+
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(key) is None
         # And a subsequent put repairs it.
+        cache.put(key, self._result())
+        assert cache.get(key) is not None
+
+    def test_entry_is_framed(self, tmp_path):
+        from repro.experiments.cache import ENTRY_MAGIC
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("PR", baseline_config(2), **KEY_ARGS)
+        cache.put(key, self._result())
+        assert cache._path(key).read_bytes().startswith(ENTRY_MAGIC)
+
+    def test_torn_write_warns_and_recomputes(self, tmp_path):
+        """A truncated entry (power loss / torn write) must be a warned
+        miss — never an UnpicklingError escaping into a sweep."""
+        import pytest
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("PR", baseline_config(2), **KEY_ARGS)
+        cache.put(key, self._result())
+        path = cache._path(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.warns(RuntimeWarning, match="corrupt result-cache entry"):
+            assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_bit_flip_fails_digest(self, tmp_path):
+        import pytest
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("PR", baseline_config(2), **KEY_ARGS)
+        cache.put(key, self._result())
+        path = cache._path(key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.warns(RuntimeWarning, match="digest"):
+            assert cache.get(key) is None
+
+    def test_legacy_unframed_entry_is_a_miss(self, tmp_path):
+        """Pre-framing entries (a bare pickle) are recomputed, not
+        trusted: no magic, no integrity."""
+        import pickle
+
+        import pytest
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("PR", baseline_config(2), **KEY_ARGS)
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps(self._result()))
+        with pytest.warns(RuntimeWarning, match="magic"):
+            assert cache.get(key) is None
         cache.put(key, self._result())
         assert cache.get(key) is not None
 

@@ -1,0 +1,80 @@
+"""Sweep journal: durable appends, torn-line tolerance, replay."""
+
+import json
+
+from repro.experiments.journal import SweepJournal, journal_path
+
+
+class TestJournalWrites:
+    def test_records_are_jsonl(self, tmp_path):
+        journal = SweepJournal(tmp_path / "s.jsonl")
+        journal.record("done", "k1", app="PR", attempt=1)
+        journal.record("failed", "k2", reason="boom", attempt=1)
+        journal.close()
+        lines = (tmp_path / "s.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"app": "PR", "attempt": 1, "event": "done", "key": "k1"}
+
+    def test_appends_across_reopens(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with SweepJournal(path) as journal:
+            journal.record("failed", "k", attempt=1)
+        with SweepJournal(path) as journal:
+            journal.record("done", "k", attempt=2)
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        journal = SweepJournal(tmp_path / "a" / "b" / "s.jsonl")
+        journal.record("done", "k")
+        journal.close()
+        assert (tmp_path / "a" / "b" / "s.jsonl").exists()
+
+
+class TestJournalReplay:
+    def test_last_record_wins(self, tmp_path):
+        journal = SweepJournal(tmp_path / "s.jsonl")
+        journal.record("failed", "k", attempt=1)
+        journal.record("failed", "k", attempt=2)
+        journal.record("done", "k", attempt=3)
+        journal.close()
+        state = journal.replay()
+        assert state["k"]["event"] == "done"
+        assert state["k"]["attempt"] == 3
+
+    def test_terminal_keys_excludes_retryable_failures(self, tmp_path):
+        journal = SweepJournal(tmp_path / "s.jsonl")
+        journal.record("done", "a")
+        journal.record("quarantined", "b", reason="poison")
+        journal.record("failed", "c", attempt=1)
+        journal.close()
+        assert journal.terminal_keys() == {"a": "done", "b": "quarantined"}
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        """A supervisor SIGKILLed mid-append leaves a torn last line;
+        replay must keep everything before it."""
+        path = tmp_path / "s.jsonl"
+        journal = SweepJournal(path)
+        journal.record("done", "a")
+        journal.record("done", "b")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"event": "done", "key": "c", "trunc')
+        state = SweepJournal(path).replay()
+        assert set(state) == {"a", "b"}
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('not json\n{"event": "done", "key": "a"}\n[1,2]\n42\n')
+        assert SweepJournal(path).terminal_keys() == {"a": "done"}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        journal = SweepJournal(tmp_path / "absent.jsonl")
+        assert journal.replay() == {}
+        assert journal.terminal_keys() == {}
+
+
+class TestJournalPath:
+    def test_lives_next_to_cache(self, tmp_path):
+        path = journal_path(tmp_path, "fig11_overall_performance")
+        assert path == tmp_path / "journals" / "fig11_overall_performance.jsonl"

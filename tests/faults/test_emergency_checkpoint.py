@@ -1,0 +1,169 @@
+"""Watchdog abort × checkpointing: the emergency snapshot property.
+
+When the liveness watchdog (or an invariant auditor) kills a run that
+has the checkpoint controller armed, the abort path must flush a
+best-effort ``emergency.ckpt`` next to the periodic checkpoints — in
+addition to the partial-stats dump the result already carries — and
+that checkpoint must restore cleanly in a system with the faults
+disabled (the lossy ``exact=False`` snapshot drops in-flight episode
+state and the restore-side sanitizer reconciles translation state, so
+the revived run completes instead of re-deadlocking).
+"""
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.config import FaultConfig, InvalidationScheme, baseline_config
+from repro.gpu.system import MultiGPUSystem
+from repro.sim import snapshot as snap
+from repro.workloads.base import Workload
+
+_VPN = 1 << 20
+
+
+def _migration_workload():
+    hot = _VPN
+    trace0 = [(10, hot, True), (20, hot, False)]
+    trace1 = [(10, _VPN + 50, False)] + [(30, hot, False) for _ in range(6)]
+    return Workload(name="lost-ack", traces=[[trace0], [trace1]])
+
+
+def _lossy_config():
+    config = baseline_config(2).with_scheme(InvalidationScheme.IDYLL)
+    config = replace(config, trace_lanes=1, inflight_per_cu=4)
+    # Every invalidation/ack packet dropped: the shootdown can never be
+    # acknowledged, so the watchdog's hard deadline fires.
+    return config.with_faults(
+        drop_rate=1.0,
+        ack_timeout=300,
+        ack_timeout_max=600,
+        max_retries=2,
+        watchdog_interval=500,
+        watchdog_stall_window=20_000,
+        ack_deadline=4_000,
+    )
+
+
+class TestEmergencyCheckpoint:
+    def _abort_with_checkpointing(self, tmp_path):
+        system = MultiGPUSystem(_lossy_config(), seed=7)
+        result = system.run(
+            _migration_workload(), checkpoint_every=1000, checkpoint_dir=tmp_path
+        )
+        return system, result
+
+    def test_abort_flushes_emergency_checkpoint(self, tmp_path):
+        system, result = self._abort_with_checkpointing(tmp_path)
+        assert result.aborted
+        assert result.abort_reason  # partial-stats dump path unchanged
+        assert system.abort_dump
+        path = tmp_path / "emergency.ckpt"
+        assert path.exists(), "abort did not flush an emergency checkpoint"
+        assert system._controller.last_path == str(path) or path.exists()
+
+    def test_emergency_checkpoint_is_wellformed(self, tmp_path):
+        _system, _result = self._abort_with_checkpointing(tmp_path)
+        payload = snap.load_checkpoint(tmp_path / "emergency.ckpt")
+        assert payload["exact"] is False
+        assert payload["now"] > 0
+
+    def test_emergency_restore_completes_without_faults(self, tmp_path):
+        """The revived run (faults off) must finish cleanly — no abort,
+        no deadlock, lanes drive to completion."""
+        _system, aborted = self._abort_with_checkpointing(tmp_path)
+        assert aborted.aborted
+        override = replace(_lossy_config(), faults=FaultConfig())
+        system, result = snap.resume_run(
+            tmp_path / "emergency.ckpt", override_config=override
+        )
+        assert not result.aborted, result.abort_reason
+        assert system._master_done
+        assert result.exec_time >= 0
+        # Partial statistics carried across the restore: the clean run
+        # keeps the pre-abort progress rather than starting from zero.
+        assert result.accesses > 0
+
+    def test_no_emergency_checkpoint_without_controller(self, tmp_path):
+        system = MultiGPUSystem(_lossy_config(), seed=7)
+        result = system.run(_migration_workload())
+        assert result.aborted
+        assert not (tmp_path / "emergency.ckpt").exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestFastpathFaultComposition:
+    """Satellite: the batch tier must stand down under fault injection.
+
+    Fault injection perturbs per-access state the replay predicate does
+    not model, so a faulted system never constructs the fast path at
+    all — every lane stays on the exact event tier — and faulted
+    results are identical with ``fastpath_enabled`` on or off.
+    """
+
+    def _faulted_config(self, fastpath: bool):
+        config = baseline_config(2).with_fastpath(fastpath)
+        return config.with_faults(
+            drop_rate=0.05, delay_rate=0.1, duplicate_rate=0.05,
+            audit_interval=7000,
+        )
+
+    def test_faulted_system_builds_no_fastpath(self):
+        system = MultiGPUSystem(self._faulted_config(fastpath=True), seed=11)
+        assert system.injector is not None
+        assert system.fastpath is None, (
+            "fault injection must force the pure event path"
+        )
+
+    @pytest.mark.parametrize("seed", [3, 11, 19])
+    def test_faulted_stats_match_no_fastpath(self, seed):
+        import dataclasses
+        import random
+
+        rng = random.Random(seed)
+        traces = []
+        for g in range(2):
+            gpu_lanes = []
+            for _lane in range(2):
+                local = [g * 1000 + p for p in range(40)]
+                shared = list(range(90000, 90020))
+                trace = []
+                for _ in range(250):
+                    vpn = (
+                        rng.choice(shared)
+                        if rng.random() < 0.1
+                        else rng.choice(local)
+                    )
+                    trace.append(
+                        (rng.choice((40, 120, 400)), vpn, rng.random() < 0.2)
+                    )
+                gpu_lanes.append(trace)
+            traces.append(gpu_lanes)
+
+        def build():
+            return Workload(name=f"fp-faults-{seed}", traces=traces)
+
+        with_fp = MultiGPUSystem(
+            self._faulted_config(fastpath=True), seed=seed
+        ).run(build())
+        without_fp = MultiGPUSystem(
+            self._faulted_config(fastpath=False), seed=seed
+        ).run(build())
+        assert dataclasses.asdict(with_fp) == dataclasses.asdict(without_fp)
+
+    def test_unfaulted_run_still_uses_fastpath(self):
+        """Guard the flip side: without faults the batch tier engages
+        (no silent always-slow regression from the checkpoint work)."""
+        import random as _random
+
+        rng = _random.Random(5)
+        trace = [
+            (rng.choice((40, 120)), 1000 + rng.randrange(30), False)
+            for _ in range(300)
+        ]
+        wl = Workload(name="fp-on", traces=[[trace]])
+        system = MultiGPUSystem(baseline_config(1), seed=5)
+        system.run(wl)
+        assert system.fastpath is not None
+        assert system.fastpath.replayed > 0, "batch tier never engaged"

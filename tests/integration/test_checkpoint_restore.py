@@ -1,0 +1,205 @@
+"""Checkpoint/restore equivalence properties.
+
+The contract under test (DESIGN.md §9): a run that periodically
+checkpoints is observationally identical to one that never does, and
+resuming *any* checkpoint — in this process or a fresh one — then
+running to completion yields a :class:`SimulationResult` that is
+field-for-field identical to the uninterrupted run, with byte-identical
+event traces when tracing is on.
+
+Workloads here are synthetic, gap-heavy, mostly-local traces: real app
+traces keep the UVM driver saturated with fault episodes, so quiescent
+instants (the only points a checkpoint can capture) are rare — see the
+honest-assessment note in DESIGN.md §9.  The property is about
+*restore fidelity*, which these traces exercise hard (14–46 checkpoints
+per run across the grid below).
+"""
+
+import dataclasses
+import glob
+import json
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.gpu.system import MultiGPUSystem
+from repro.sim import snapshot as snap
+from repro.workloads.base import Workload
+
+#: every (gpus, seed) pair: 20 seeds x {1, 2, 4} GPUs.
+GRID = [(gpus, seed) for gpus in (1, 2, 4) for seed in range(20)]
+
+
+def synth_workload(num_gpus, seed, lanes=2, accesses=300):
+    """Mostly-local pages with a 10% shared-page burst mix and generous
+    compute gaps, so the system has quiescent windows to checkpoint in."""
+    rng = random.Random(seed)
+    traces = []
+    for g in range(num_gpus):
+        gpu_lanes = []
+        for _lane in range(lanes):
+            trace = []
+            local = [g * 1000 + p for p in range(40)]
+            shared = list(range(90000, 90020))
+            for _ in range(accesses):
+                vpn = rng.choice(shared) if rng.random() < 0.1 else rng.choice(local)
+                gap = rng.choice((40, 120, 400, 900))
+                trace.append((gap, vpn, rng.random() < 0.2))
+            gpu_lanes.append(trace)
+        traces.append(gpu_lanes)
+    return Workload(name=f"synth{seed}", traces=traces)
+
+
+def _run_plain(num_gpus, seed, **config_kwargs):
+    config = SystemConfig(num_gpus=num_gpus, **config_kwargs)
+    return MultiGPUSystem(config, seed=seed).run(synth_workload(num_gpus, seed))
+
+
+class TestCheckpointEquivalence:
+    @pytest.mark.parametrize("num_gpus,seed", GRID)
+    def test_resume_matches_uninterrupted(self, tmp_path, num_gpus, seed):
+        """Tentpole property: checkpointing changes nothing, and every
+        checkpoint resumes to the exact uninterrupted result."""
+        base = _run_plain(num_gpus, seed)
+        config = SystemConfig(num_gpus=num_gpus)
+        system = MultiGPUSystem(config, seed=seed)
+        checkpointed = system.run(
+            synth_workload(num_gpus, seed),
+            checkpoint_every=4000,
+            checkpoint_dir=tmp_path,
+        )
+        want = dataclasses.asdict(base)
+        assert dataclasses.asdict(checkpointed) == want, (
+            "checkpointed run diverged from plain run"
+        )
+        paths = sorted(glob.glob(str(tmp_path / "ckpt-*.ckpt")))
+        assert paths, "no checkpoints written (workload lost its quiescent gaps?)"
+        # Resume up to four evenly spaced checkpoints (first/last always).
+        step = max(1, (len(paths) - 1) // 3) if len(paths) > 1 else 1
+        sample = sorted({0, len(paths) - 1} | set(range(0, len(paths), step)))
+        for i in sample:
+            _system, resumed = snap.resume_run(paths[i])
+            got = dataclasses.asdict(resumed)
+            if got != want:
+                diffs = {k: (got[k], want[k]) for k in got if got[k] != want[k]}
+                raise AssertionError(f"resume of {paths[i]} diverged: {diffs}")
+
+    def test_resume_without_fastpath(self, tmp_path):
+        base = _run_plain(2, 5, fastpath_enabled=False)
+        config = SystemConfig(num_gpus=2, fastpath_enabled=False)
+        system = MultiGPUSystem(config, seed=5)
+        system.run(
+            synth_workload(2, 5), checkpoint_every=4000, checkpoint_dir=tmp_path
+        )
+        paths = sorted(glob.glob(str(tmp_path / "ckpt-*.ckpt")))
+        assert paths
+        for path in (paths[0], paths[len(paths) // 2], paths[-1]):
+            _system, resumed = snap.resume_run(path)
+            assert dataclasses.asdict(resumed) == dataclasses.asdict(base)
+
+    def test_checkpoint_chaining(self, tmp_path):
+        """A restored run can itself checkpoint, and those second-
+        generation checkpoints also resume to the same result."""
+        base = _run_plain(2, 7)
+        system = MultiGPUSystem(SystemConfig(num_gpus=2), seed=7)
+        system.run(
+            synth_workload(2, 7), checkpoint_every=5000,
+            checkpoint_dir=tmp_path / "gen1",
+        )
+        gen1 = sorted(glob.glob(str(tmp_path / "gen1" / "ckpt-*.ckpt")))
+        assert gen1
+        _sys2, resumed = snap.resume_run(
+            gen1[0], checkpoint_every=5000, checkpoint_dir=tmp_path / "gen2"
+        )
+        assert dataclasses.asdict(resumed) == dataclasses.asdict(base)
+        gen2 = sorted(glob.glob(str(tmp_path / "gen2" / "ckpt-*.ckpt")))
+        assert gen2, "restored run wrote no checkpoints of its own"
+        for path in (gen2[0], gen2[-1]):
+            _sys3, again = snap.resume_run(path)
+            assert dataclasses.asdict(again) == dataclasses.asdict(base)
+
+
+class TestTracedResume:
+    def _lines(self, tracer):
+        from repro.metrics.trace_export import trace_lines
+
+        return trace_lines(tracer)
+
+    def test_trace_bytes_identical_after_resume(self, tmp_path):
+        from repro.sim.trace import TraceRecorder
+
+        workload = synth_workload(2, 13)
+        config = SystemConfig(num_gpus=2)
+        base_tracer = TraceRecorder()
+        base = MultiGPUSystem(config, seed=13, tracer=base_tracer).run(workload)
+
+        ckpt_tracer = TraceRecorder()
+        system = MultiGPUSystem(config, seed=13, tracer=ckpt_tracer)
+        system.run(
+            synth_workload(2, 13), checkpoint_every=6000, checkpoint_dir=tmp_path
+        )
+        assert self._lines(ckpt_tracer) == self._lines(base_tracer), (
+            "checkpointing perturbed the event trace"
+        )
+        paths = sorted(glob.glob(str(tmp_path / "ckpt-*.ckpt")))
+        assert paths
+        _system, resumed = snap.resume_run(paths[len(paths) // 2])
+        assert dataclasses.asdict(resumed) == dataclasses.asdict(base)
+        assert self._lines(_system.tracer) == self._lines(base_tracer), (
+            "resumed run's trace is not byte-identical"
+        )
+
+
+class TestFreshProcessResume:
+    def test_restore_in_subprocess(self, tmp_path):
+        """The acceptance criterion's fresh-process restore: a separate
+        interpreter loads the checkpoint and must reproduce the stats."""
+        base = _run_plain(2, 17)
+        system = MultiGPUSystem(SystemConfig(num_gpus=2), seed=17)
+        system.run(
+            synth_workload(2, 17), checkpoint_every=6000, checkpoint_dir=tmp_path
+        )
+        paths = sorted(glob.glob(str(tmp_path / "ckpt-*.ckpt")))
+        assert paths
+        script = (
+            "import dataclasses, json, sys\n"
+            "from repro.sim.snapshot import resume_run\n"
+            "_system, result = resume_run(sys.argv[1])\n"
+            "print(json.dumps(dataclasses.asdict(result), sort_keys=True))\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, paths[len(paths) // 2]],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        got = json.loads(proc.stdout.strip().splitlines()[-1])
+        want = json.loads(json.dumps(dataclasses.asdict(base), sort_keys=True))
+        assert got == want
+
+
+class TestFaultedCheckpoints:
+    def test_faulted_run_resumes_identically(self, tmp_path):
+        """Checkpointing composes with fault injection: the faulted,
+        checkpointed run and every resume agree with the faulted
+        uninterrupted run."""
+        faults = dict(
+            drop_rate=0.05, delay_rate=0.1, duplicate_rate=0.05,
+            audit_interval=7000,
+        )
+        config = SystemConfig(num_gpus=2).with_faults(**faults)
+        base = MultiGPUSystem(config, seed=19).run(synth_workload(2, 19))
+        system = MultiGPUSystem(config, seed=19)
+        checkpointed = system.run(
+            synth_workload(2, 19), checkpoint_every=5000, checkpoint_dir=tmp_path
+        )
+        assert dataclasses.asdict(checkpointed) == dataclasses.asdict(base)
+        paths = sorted(glob.glob(str(tmp_path / "ckpt-*.ckpt")))
+        assert paths, "faulted run wrote no checkpoints"
+        for path in (paths[0], paths[len(paths) // 2], paths[-1]):
+            _system, resumed = snap.resume_run(path)
+            assert dataclasses.asdict(resumed) == dataclasses.asdict(base)

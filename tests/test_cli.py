@@ -84,3 +84,47 @@ class TestFigureAndTrace:
     def test_bad_figure_name_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+
+class TestCheckpointFlags:
+    def test_run_requires_app_or_resume(self, capsys):
+        assert main(["run"]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_missing_checkpoint_is_an_error(self, tmp_path, capsys):
+        code = main(["run", "--resume", str(tmp_path / "absent.ckpt")])
+        assert code == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume_roundtrip(self, tmp_path, capsys):
+        """End-to-end through the CLI: checkpoint a run, resume the
+        first checkpoint, and get the same exec_time back."""
+        import glob
+        import random
+
+        from repro.config import SystemConfig
+        from repro.gpu.system import MultiGPUSystem
+        from repro.workloads.base import Workload
+
+        rng = random.Random(3)
+        trace = [
+            (rng.choice((40, 120, 400)), 1000 + rng.randrange(40), False)
+            for _ in range(300)
+        ]
+        workload = Workload(name="cli-ckpt", traces=[[trace]])
+        system = MultiGPUSystem(SystemConfig(num_gpus=1), seed=3)
+        result = system.run(
+            workload, checkpoint_every=3000, checkpoint_dir=tmp_path
+        )
+        paths = sorted(glob.glob(str(tmp_path / "ckpt-*.ckpt")))
+        assert paths
+        code = main(["run", "--resume", paths[0]])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed from" in out
+        assert f"exec_time                    {result.exec_time}" in out
+
+    def test_resume_sweep_requires_cache(self, capsys):
+        code = main(["figure", "fig01", "--resume-sweep", "--no-cache"])
+        assert code == 2
+        assert "--resume-sweep" in capsys.readouterr().err
