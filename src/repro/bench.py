@@ -258,10 +258,11 @@ def compare_benchmarks(
     files; returns human-readable regression messages (empty = pass).
 
     Only **wall time** is gated: a benchmark regresses when its best
-    ``wall_s`` exceeds the baseline's by more than ``threshold``.  Every
-    other recorded field — ``ops_per_s``, ``peak_rss_kb``, ``exec_time``,
-    ``replayed`` — is informational context for a human reading the
-    JSON, not a pass/fail criterion (RSS in particular is too
+    ``wall_s`` exceeds the baseline's by more than ``threshold``.
+    Throughput (``ops_per_s``) and peak RSS deltas are printed as
+    **advisory** context on the same line — they explain *why* wall
+    time moved (more work per second vs more memory pressure) — but
+    never fail the comparison (RSS in particular is too
     allocator-dependent to gate on).
 
     Benchmarks present on only one side are reported as info, not
@@ -288,8 +289,23 @@ def compare_benchmarks(
                 f"{base['wall_s']*1e3:.1f} ms ({ratio:.2f}x, limit "
                 f"{1.0 + threshold:.2f}x)"
             )
-        print(f"{name:<22} {ratio:5.2f}x vs baseline   {verdict}")
+        advisory = _advisory_deltas(record, base)
+        print(f"{name:<22} {ratio:5.2f}x vs baseline   {verdict}{advisory}")
     return regressions
+
+
+def _advisory_deltas(record: dict, base: dict) -> str:
+    """Non-gating ops/s and peak-RSS percentage deltas vs baseline,
+    formatted for the compare line (empty when neither side has the
+    field — old baselines may predate it)."""
+    parts = []
+    if base.get("ops_per_s") and record.get("ops_per_s"):
+        delta = (record["ops_per_s"] / base["ops_per_s"] - 1.0) * 100.0
+        parts.append(f"ops/s {delta:+.1f}%")
+    if base.get("peak_rss_kb") and record.get("peak_rss_kb"):
+        delta = (record["peak_rss_kb"] / base["peak_rss_kb"] - 1.0) * 100.0
+        parts.append(f"rss {delta:+.1f}%")
+    return ("   [" + ", ".join(parts) + "]") if parts else ""
 
 
 def profile_benchmarks(

@@ -253,6 +253,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fixture directory (default: <repo>/tests/golden)",
     )
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the replay tiers "
+        "(event path vs batched vs vectorised)",
+    )
+    fuzz.add_argument(
+        "--runs", type=int, default=50, help="number of random cases"
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="campaign master seed"
+    )
+    fuzz.add_argument(
+        "--spec",
+        default=None,
+        help="replay one JSON FuzzSpec (as printed by a failing run) "
+        "instead of a random campaign",
+    )
+    fuzz.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress"
+    )
+
     return parser
 
 
@@ -505,6 +526,41 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from .experiments.fuzz import FuzzSpec, check_spec, fuzz
+    from .gpu.fastpath import HAVE_NUMPY
+
+    kernels = "event/scalar/global" + ("/vector" if HAVE_NUMPY else "")
+    if args.spec:
+        spec = FuzzSpec.from_json(args.spec)
+        report = check_spec(spec)
+        if report is not None:
+            print(report)
+            return 1
+        print(f"OK: all replay tiers agree ({kernels})")
+        return 0
+
+    def progress(i, runs, spec):
+        if not args.quiet:
+            print(
+                f"[{i + 1}/{runs}] gpus={spec.num_gpus} lanes={spec.lanes} "
+                f"accesses={spec.accesses} scheme={spec.scheme} "
+                f"batch_limit={spec.batch_limit} "
+                f"inflight={spec.inflight_per_cu} seed={spec.seed}",
+                flush=True,
+            )
+
+    failures = fuzz(args.runs, args.seed, progress=progress)
+    if failures:
+        print(f"\n{len(failures)}/{args.runs} cases diverged:\n")
+        for report in failures:
+            print(report)
+            print()
+        return 1
+    print(f"fuzz campaign clean: {args.runs} cases, tiers {kernels}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -524,6 +580,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "golden":
         return _cmd_golden(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return 2
 
 

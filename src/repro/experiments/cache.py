@@ -116,6 +116,13 @@ def cache_key(
 
     Uses ``sha256`` over canonical JSON rather than Python's ``hash()``
     (which is salted per process and therefore useless on disk).
+
+    The whole ``SystemConfig`` is folded in via ``asdict``, so every
+    new knob — including replay-tier selection like
+    ``fastpath_vectorised`` / ``fastpath_per_gpu`` — invalidates cached
+    results automatically; results must never be shared across replay
+    tiers even though the tiers are equivalence-tested, because a
+    kernel bug would otherwise be *served from cache* after the fix.
     """
     payload = {
         "app": app,

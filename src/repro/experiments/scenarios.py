@@ -163,11 +163,33 @@ def faulted_invalidation_retry(tracer: TraceRecorder) -> None:
         raise AssertionError("faulted golden scenario produced no retries")
 
 
+def tlb_resident_replay(tracer: TraceRecorder) -> None:
+    """One GPU, one lane, a tiny working set hammered far past its
+    first-touch faults: after 4 cold misses, every access is an L1 TLB
+    hit on a local page — the batched replay tier's best case (>90% of
+    accesses are fast).  Traced runs always take the pure event path,
+    so this fixture pins the exact event sequence the replay kernels
+    must be equivalent to, access by access."""
+    pages = [_BASE_VPN + i for i in range(4)]
+    trace = [(3, pages[i % 4], (i % 7) == 3) for i in range(120)]
+    workload = Workload(name="golden-tlb-resident", traces=[[trace]])
+    config = _tiny_config(1, InvalidationScheme.IDYLL)
+    system = MultiGPUSystem(config, seed=7, tracer=tracer)
+    result = system.run(workload)
+    density = result.l1_hits / result.accesses
+    if density <= 0.9:
+        raise AssertionError(
+            f"TLB-resident scenario lost its fast-access density: "
+            f"{result.l1_hits}/{result.accesses} = {density:.2f} <= 0.9"
+        )
+
+
 SCENARIOS: Dict[str, Callable[[TraceRecorder], None]] = {
     "single_gpu_demand_fault": single_gpu_demand_fault,
     "cross_gpu_migration": cross_gpu_migration,
     "irmb_merge_then_evict": irmb_merge_then_evict,
     "faulted_invalidation_retry": faulted_invalidation_retry,
+    "tlb_resident_replay": tlb_resident_replay,
 }
 
 

@@ -68,7 +68,7 @@ class Lane:
         request = window.request
         i = 0
         while i < n:
-            if fp is not None and self._slow == 0 and fp.eligible():
+            if fp is not None and self._slow == 0 and fp.park_ok(gpu):
                 i, arrival = yield fp.park(self, i)
                 if i >= n:
                     break
@@ -190,7 +190,7 @@ class Lane:
             i += 1
             if i >= n:
                 break
-            if fp is not None and self._slow == 0 and fp.eligible():
+            if fp is not None and self._slow == 0 and fp.park_ok(gpu):
                 i, arrival = yield fp.park(self, i)
                 if i >= n:
                     break

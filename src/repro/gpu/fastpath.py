@@ -12,8 +12,29 @@ the lane's in-flight window:
 so a *parked* lane can be replayed in bulk over the columnar
 :class:`~repro.workloads.base.TraceBuffer` arrays with no events at all,
 escaping back to the event engine the moment an access would miss the
-L1, touch a remote page, collide with an MSHR entry or a pending IRMB
-invalidation — or the moment the UVM driver becomes active.
+L1, touch a remote or gated page, collide with an MSHR entry or a
+pending IRMB invalidation — or the moment the UVM driver starts an
+episode touching the lane's GPU.
+
+Two replay kernels implement the identical contract:
+
+* the **scalar** kernel — a per-access Python loop, always available;
+* the **vectorised** kernel — a numpy block scan over the trace columns
+  (``config.fastpath_vectorised``, the default when numpy imports).
+  The window recurrence has a ``W``-cycle lag (access ``i`` waits on
+  the release of access ``i - W``), so with the substitution
+  ``y_i = issue_i - prefix_gaps_i`` it becomes
+  ``y_i = max(y_{i-1}, ring_head_i - prefix_gaps_i)`` — a running
+  maximum — and blocks of ``W`` accesses fall to one
+  ``np.maximum.accumulate`` each.  The escape predicate is evaluated
+  once per *unique* VPN in the bite (simulator state cannot change
+  mid-replay: the batcher only runs between calendar events), and the
+  first escape index plus a ``searchsorted`` against the event bound
+  cut the bite exactly where the scalar loop would have stopped.
+
+numpy is a **soft** dependency: selected at import, with
+``REPRO_NO_NUMPY=1`` forcing the scalar kernel (CI runs the tier-1
+suite both ways so the fallback cannot rot).
 
 Parking protocol
 ----------------
@@ -25,6 +46,13 @@ deep).  The engine's :attr:`~repro.sim.engine.Engine.batcher` hook calls
 :meth:`FastPath.try_batch` whenever the ready queue is empty — i.e.
 *between every two calendar events* — and replay is bounded by the next
 calendar event's timestamp.
+
+Parking is gated per GPU (``config.fastpath_per_gpu``, default): a lane
+parks while its own GPU's ``driver_busy`` gauge is zero (no fault it
+raised, no invalidation targeting it, no migration it is an endpoint
+of) and is unparked the round after the gauge rises, so pure-replay
+GPUs keep batching while another GPU migrates.  Setting the knob False
+restores the original whole-driver-idle gate (:meth:`eligible`).
 
 Unparking succeeds the park event with ``(index, arrival)``.  The lane
 generator resumes at the current (earlier or equal) engine time and
@@ -47,11 +75,14 @@ Equivalence argument (summary; DESIGN.md §8 has the full version)
    bits baked into each PTE word, and the migration-gate table.  Every
    mutation channel for these (TLB shootdown, gate creation, ownership
    of a fresh word) lives inside a driver episode — fault, migration,
-   invalidation — whose in-flight gauge is raised synchronously at the
-   start of the episode's first event.  Eligibility requires the driver
-   to be fully idle, so no such mutation can fire at a replayed cycle;
-   the moment a gauge rises, the next batcher call (which runs before
-   the following event pops) unparks every lane at the current time.
+   invalidation — which raises the target GPU's ``driver_busy`` gauge
+   synchronously in the episode's first event, so no such mutation can
+   fire at a replayed cycle; the moment a gauge rises, the next batcher
+   call (which runs before the following event pops) unparks that
+   GPU's lanes at the current time.  Third-party migrations are the
+   one episode that can overlap replay under per-GPU parking, and
+   their only cross-GPU-visible state is the gate table — which the
+   replay predicate checks per access.
 4. An unparked lane resumes at or before its next issue time and
    continues on the event path, indistinguishable from a lane that
    never parked.
@@ -65,6 +96,7 @@ turn it off explicitly.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Dict, List, Set
 
@@ -72,9 +104,25 @@ from ..memory import pte as pte_bits
 from ..memory.physmem import PhysicalMemory
 from ..sim.engine import Engine, Event
 
-__all__ = ["FastPath", "ParkedLane"]
+if os.environ.get("REPRO_NO_NUMPY") == "1":  # forced pure-Python fallback
+    np = None
+else:
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - exercised via REPRO_NO_NUMPY CI leg
+        np = None
+
+__all__ = ["FastPath", "ParkedLane", "HAVE_NUMPY"]
+
+#: True when the vectorised kernel can be selected in this process.
+HAVE_NUMPY = np is not None
 
 _INF = float("inf")
+
+#: "ring not yet full" sentinel for the vectorised head column: small
+#: enough to never win a max against a real timestamp, large enough that
+#: subtracting a prefix sum cannot underflow int64.
+_NEG = -(1 << 62)
 
 
 class ParkedLane:
@@ -98,7 +146,7 @@ class ParkedLane:
         self.ring = ring
         self.backed = backed
         #: GPU invalidation generation at park time; a mismatch voids
-        #: batch eligibility (belt and braces over the driver-idle check).
+        #: batch eligibility (belt and braces over the gauge check).
         self.gen = gen
 
 
@@ -113,6 +161,13 @@ class FastPath:
         self.driver = driver
         self.interconnect = interconnect
         self.batch_limit = max(1, config.fastpath_batch_limit)
+        #: True = numpy block-scan kernel; False = scalar loop (forced
+        #: when numpy is unavailable or REPRO_NO_NUMPY=1).
+        self.vectorised = bool(config.fastpath_vectorised) and np is not None
+        self._replay = self._replay_vectorised if self.vectorised else self._replay_scalar
+        #: True = per-GPU driver_busy park gauges; False = the original
+        #: whole-driver-idle gate.
+        self.per_gpu = bool(config.fastpath_per_gpu)
         self._parked: Dict[object, ParkedLane] = {}
         #: id() of every parked lane's window Resource — identifies
         #: calendar entries (window.release bound methods) that are
@@ -133,14 +188,14 @@ class FastPath:
     # ------------------------------------------------------------------
 
     def eligible(self) -> bool:
-        """True while no driver episode is in flight.
+        """True while no driver episode is in flight anywhere.
 
         Shootdowns, migration gates and ownership changes — the only
         mutations of state the replay predicate reads — occur strictly
         inside driver episodes, and each episode raises one of these
-        gauges in its very first event, before any such mutation.
-        Per-lane concerns (in-flight slow accesses) are the lane's own
-        parking precondition, not a system-wide one.
+        gauges in its very first event.  Per-lane concerns (in-flight
+        slow accesses) are the lane's own parking precondition, not a
+        system-wide one.
         """
         driver = self.driver
         return not (
@@ -149,6 +204,18 @@ class FastPath:
             or driver._inflight_invals
             or driver._inflight_faults
         )
+
+    def park_ok(self, gpu) -> bool:
+        """May a lane of ``gpu`` park right now?
+
+        Per-GPU mode needs only ``gpu``'s own gauge: episodes touching
+        other GPUs cannot mutate state this GPU's replay predicate reads
+        except through the gate table, which the predicate checks per
+        access.  Global mode keeps the original conservative gate.
+        """
+        if self.per_gpu:
+            return gpu.driver_busy == 0
+        return self.eligible()
 
     # ------------------------------------------------------------------
     # Park / unpark
@@ -249,13 +316,23 @@ class FastPath:
         engine = self.engine
         heap = engine._heap
         parked_windows = self._parked_windows
+        per_gpu = self.per_gpu
         while True:
-            if not self.eligible():
+            unparked = False
+            if per_gpu:
+                # Evict only lanes whose own GPU became busy; the rest
+                # keep batching through the episode.
+                for rec in list(parked.values()):
+                    if rec.lane.gpu.driver_busy:
+                        self._unpark(rec)
+                        unparked = True
+            elif not self.eligible():
                 self._unpark_all()
+                return True
+            if unparked:
                 return True
             bound = heap[0][0] if heap else _INF
             work = 0
-            unparked = False
             for rec in list(parked.values()):
                 work += self._replay(rec, bound)
                 if rec.lane not in parked:
@@ -275,7 +352,11 @@ class FastPath:
                 continue  # batch-limit chunking: take another bite
             return False
 
-    def _replay(self, rec: ParkedLane, bound) -> int:
+    # ------------------------------------------------------------------
+    # Scalar replay kernel (always available)
+    # ------------------------------------------------------------------
+
+    def _replay_scalar(self, rec: ParkedLane, bound) -> int:
         """Replay ``rec``'s lane arithmetically until ``bound``, an
         escape, the batch limit, or end of trace.  Returns the number of
         accesses replayed."""
@@ -306,6 +387,7 @@ class FastPath:
         )
         mshr1 = gpu.l1_mshrs[lane.lane_id]._pending
         mshr2 = gpu.l2_mshr._pending
+        gates = self.driver._gates
         ring_pop = ring.popleft
         ring_push = ring.append
         limit = self.batch_limit
@@ -329,6 +411,7 @@ class FastPath:
                 or (irmb_peek is not None and irmb_peek(vpn))
                 or vpn in mshr1
                 or vpn in mshr2
+                or (gates and vpn in gates)
             ):
                 escaped = True
                 break
@@ -355,5 +438,200 @@ class FastPath:
         rec.arrival = arrival
         rec.backed = backed
         if escaped or i >= n:
+            self._unpark(rec)
+        return count
+
+    # ------------------------------------------------------------------
+    # Vectorised replay kernel (numpy block scan)
+    # ------------------------------------------------------------------
+
+    def _replay_vectorised(self, rec: ParkedLane, bound) -> int:
+        """Bit-for-bit the scalar kernel's contract, as a numpy block
+        scan: the same accesses replay, the same escape fires, and every
+        piece of bookkeeping (ring, arrival, backed, counters, L1 LRU
+        order) matches the scalar loop's final state exactly.
+
+        Shape: evaluate the escape predicate once per unique VPN of the
+        bite (state is frozen mid-replay), solve the window recurrence
+        in blocks of ``W = capacity`` via a running maximum on
+        ``issue - prefix_gaps``, then cut at ``min(first predicate
+        failure, first issue >= bound, batch limit, end of trace)`` —
+        testing the bound *before* the predicate at the cut index, as
+        the scalar loop does.
+        """
+        lane = rec.lane
+        gpu = lane.gpu
+        if rec.gen != gpu.inval_generation:
+            self._unpark(rec)
+            return 0
+        i0 = rec.index
+        n = lane._n
+        navail = n - i0
+        limit = self.batch_limit
+        if navail > limit:
+            navail = limit
+        gaps_np, vpns_np = lane.trace.columns64()
+        g = gaps_np[i0:i0 + navail]
+
+        # --- bound pre-cut ---------------------------------------------
+        # issue_j >= arrival_0 + (S_j - g_0) (arrivals alone, ignoring
+        # the window), so indices whose gap prefix sum already reaches
+        # the bound can never replay this round.  Trimming the bite here
+        # keeps the per-call cost proportional to the work actually
+        # available — the bound is often one window-release away.
+        S = np.add.accumulate(g)
+        jcap = int(np.searchsorted(S, bound - rec.arrival + int(g[0]),
+                                   side="left"))
+        if jcap == 0:
+            return 0
+        if jcap < navail:
+            navail = jcap
+            g = g[:navail]
+            S = S[:navail]
+        v = vpns_np[i0:i0 + navail]
+
+        # --- escape predicate, once per unique VPN of the bite --------
+        l1 = gpu.l1_tlbs[lane.lane_id]
+        sets = l1._sets
+        nsets = len(sets)
+        single = sets[0] if nsets == 1 else None
+        owner_of = PhysicalMemory.owner_of
+        ppn = pte_bits.ppn
+        gpu_id = gpu.gpu_id
+        irmb = gpu.irmb
+        irmb_peek = (
+            irmb.peek if irmb is not None and not irmb.is_empty else None
+        )
+        mshr1 = gpu.l1_mshrs[lane.lane_id]._pending
+        mshr2 = gpu.l2_mshr._pending
+        gates = self.driver._gates
+
+        uniq, inverse = np.unique(v, return_inverse=True)
+        ok = np.empty(len(uniq), dtype=bool)
+        for k, vpn in enumerate(uniq.tolist()):
+            entry_set = single if single is not None else sets[vpn % nsets]
+            word = entry_set.get(vpn)
+            ok[k] = (
+                word is not None
+                and owner_of(ppn(word)) == gpu_id
+                and not (irmb_peek is not None and irmb_peek(vpn))
+                and vpn not in mshr1
+                and vpn not in mshr2
+                and not (gates and vpn in gates)
+            )
+        bad = ~ok[inverse]
+        fb = int(np.argmax(bad)) if bad.any() else navail
+
+        # --- window recurrence over [0, M): issues of every candidate
+        # access plus (when escaping) the failing access, whose issue
+        # decides bound-break vs escape exactly as the scalar loop does.
+        M = fb + 1 if fb < navail else navail
+        capacity = lane._capacity
+        fast_latency = gpu._fast_latency
+        B = len(rec.ring)
+        issue = None
+        if B == capacity:
+            # Saturated-window closed form.  With a full ring, *if* the
+            # window binds every access (arrival_j <= ring-head release),
+            # the recurrence degenerates to per-residue arithmetic:
+            # c_j = ring[j mod W] + (j // W) * L.  Candidate plus
+            # vectorised verification (arrival_0 <= c_0 and
+            # c_j - c_{j-1} >= g_j, which by induction makes every
+            # arrival land at or below its ring head) replaces the block
+            # scan with a handful of whole-bite ufuncs — and in replay
+            # steady state (small gaps, full ring) it almost always
+            # holds.  Any miss falls back to the exact block scan.
+            ncop = -(-M // capacity)
+            c = np.tile(np.asarray(rec.ring, dtype=np.int64), ncop)[:M]
+            c += np.repeat(
+                np.arange(ncop, dtype=np.int64) * fast_latency, capacity
+            )[:M]
+            if rec.arrival <= int(c[0]) and (
+                M == 1 or bool((c[1:] - c[:M - 1] >= g[1:M]).all())
+            ):
+                issue = c
+        if issue is None:
+            issue = np.empty(M, dtype=np.int64)
+            head = np.empty(M, dtype=np.int64)  # ring-head release per access
+            slack = capacity - B              # accesses before the ring fills
+            k = slack if slack < M else M
+            if k > 0:
+                head[:k] = _NEG               # ring not yet full: no wait
+            if M > slack:
+                take = min(M - slack, B)
+                head[slack:slack + take] = list(rec.ring)[:take]
+            # head[j] for j >= capacity is this bite's own release
+            # j-capacity, filled block-by-block below.  y = issue - S
+            # obeys y_j = max(y_{j-1}, head_j - S_j); carry seeds
+            # arrival_0.
+            carry = rec.arrival - int(g[0])
+            pos = 0
+            while pos < M:
+                end = pos + capacity
+                if end > M:
+                    end = M
+                lo = capacity if pos < capacity else pos
+                if lo < end:
+                    np.add(issue[lo - capacity:end - capacity], fast_latency,
+                           out=head[lo:end])
+                t = head[pos:end] - S[pos:end]
+                if t[0] < carry:
+                    t[0] = carry
+                np.maximum.accumulate(t, out=t)
+                np.add(t, S[pos:end], out=issue[pos:end])
+                carry = issue[end - 1] - S[end - 1]
+                pos = end
+
+        # --- cut: first issue at/past the next calendar event ---------
+        cut = int(np.searchsorted(issue, bound, side="left"))
+        if fb < navail:
+            if cut <= fb:
+                count, escaped = cut, False   # bound breaks first
+            else:
+                count, escaped = fb, True
+        else:
+            count, escaped = cut, False
+
+        if count:
+            # --- side effects, exactly the scalar loop's -------------
+            # L1 LRU: per unique replayed VPN, one move_to_end in
+            # ascending order of last occurrence (the net effect of the
+            # scalar loop's per-access refreshes).
+            vc = v[:count]
+            ruline, rfirst = np.unique(vc[::-1], return_index=True)
+            for k in np.argsort(rfirst)[::-1].tolist():
+                vpn = int(ruline[k])
+                entry_set = single if single is not None else sets[vpn % nsets]
+                entry_set.move_to_end(vpn)
+            gpu.instructions += int(S[count - 1]) + count
+            l1._hits.value += count
+            gpu._n_local.value += count
+            gpu._n_completed.value += count
+            self.replayed += count
+            # Ring rebuild: the last min(B + count, capacity) releases of
+            # [old ring..., issue_0 + L, ..., issue_{count-1} + L].
+            total = B + count
+            pops = total - capacity if total > capacity else 0
+            if pops >= B:
+                rec.ring = deque(
+                    (issue[count - capacity:count] + fast_latency).tolist()
+                )
+                rec.backed = 0
+            else:
+                ring = rec.ring
+                for _ in range(pops):
+                    ring.popleft()
+                ring.extend((issue[:count] + fast_latency).tolist())
+                rec.backed = rec.backed - pops if rec.backed > pops else 0
+            i = i0 + count
+            rec.index = i
+            if i < n:
+                rec.arrival = int(issue[count - 1]) + int(gaps_np[i])
+            elif count >= 2:
+                # End of trace: the scalar loop leaves ``arrival`` at the
+                # last access's own arrival (mirrored for checkpoint
+                # byte-equality; the value is never consumed).
+                rec.arrival = int(issue[count - 2]) + int(g[count - 1])
+        if escaped or rec.index >= n:
             self._unpark(rec)
         return count

@@ -111,6 +111,12 @@ class GPU:
         #: replay records snapshot it, so any invalidation that lands
         #: while a lane is parked voids its batch eligibility.
         self.inval_generation = 0
+        #: count of driver episodes currently touching this GPU (far
+        #: faults it raised, invalidations targeting it, migrations it is
+        #: source or destination of).  The per-GPU park/unpark gauge:
+        #: lanes park only while it is zero, and a parked lane is
+        #: unparked the round after it rises (DESIGN.md §8.6).
+        self.driver_busy = 0
 
         # Hot-path bindings: these run once per simulated memory access,
         # so config/property hops and StatsGroup dict probes add up.

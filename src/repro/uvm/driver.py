@@ -132,6 +132,7 @@ class UVMDriver:
         batching, resolution, and the reply; fires with the new PTE word."""
         fault = FarFault(gpu_id, vpn, is_write, self.engine.now, self.engine.event())
         self._inflight_faults += 1
+        self.gpus[gpu_id].driver_busy += 1
         self.stats.counter("far_faults").add()
         if self._tracer.enabled:
             self._tracer.emit("fault.raise", self.name, vpn, gpu=gpu_id, write=is_write)
@@ -208,6 +209,7 @@ class UVMDriver:
                 gpu=fault.gpu_id, cycles=self.engine.now - fault.raised_at,
             )
         self._inflight_faults -= 1
+        self.gpus[fault.gpu_id].driver_busy -= 1
         fault.resolved.succeed(word)
 
     def _resolve(self, fault: FarFault, allow_migrate: bool = True):
@@ -331,6 +333,11 @@ class UVMDriver:
 
         gate = Gate(self.engine, open_=False)
         self._gates[vpn] = gate
+        # Per-GPU park gauges: both endpoints of the migration are busy
+        # until the gate reopens (the page's TLB holders are shot down
+        # individually via the invalidation gauges above).
+        self.gpus[src].driver_busy += 1
+        self.gpus[dst].driver_busy += 1
         t_request = self.engine.now
         self.stats.counter("migrations").add()
         if self._tracer.enabled:
@@ -389,6 +396,8 @@ class UVMDriver:
                 src=src, dst=dst, waited=waiting, cycles=self.engine.now - t_request,
             )
         self._generation[vpn] = self._generation.get(vpn, 0) + 1
+        self.gpus[src].driver_busy -= 1
+        self.gpus[dst].driver_busy -= 1
         del self._gates[vpn]
         gate.open()
 
@@ -424,12 +433,14 @@ class UVMDriver:
             return self.engine.process(self._send_invalidation_hardened(pending, dst))
         key = (gpu_id, vpn)
         self._inflight_invals[key] = self._inflight_invals.get(key, 0) + 1
+        self.gpus[gpu_id].driver_busy += 1
         return self.engine.process(self._send_invalidation_tracked(gpu_id, vpn, dst))
 
     def _send_invalidation_tracked(self, gpu_id: int, vpn: int, dst: int):
         try:
             yield from self._send_invalidation(gpu_id, vpn, dst)
         finally:
+            self.gpus[gpu_id].driver_busy -= 1
             key = (gpu_id, vpn)
             count = self._inflight_invals.get(key, 0) - 1
             if count <= 0:

@@ -143,3 +143,122 @@ class TestEngagement:
         config = small_config(2).with_fastpath(False)
         system = MultiGPUSystem(config, seed=7)
         assert system.fastpath is None
+
+
+class TestReplayKernelCorners:
+    """Degenerate shapes the vectorised kernel and per-GPU parking must
+    survive bit-for-bit: pathological batch limits, empty and
+    single-access lanes, wide topologies, and every knob combination."""
+
+    def _assert_equivalent(self, config, workload):
+        _, fast = run_stats(config, workload)
+        _, slow = run_stats(config.with_fastpath(False), workload)
+        diff = {k: (fast[k], slow[k]) for k in fast if fast[k] != slow[k]}
+        assert not diff, f"fastpath changed observable stats: {diff}"
+
+    # 59 = run length - 1: the last access of a 60-access lane always
+    # spills into a second bite.
+    @pytest.mark.parametrize("batch_limit", [1, 2, 59])
+    def test_degenerate_batch_limits(self, batch_limit):
+        config = replace(small_config(2), fastpath_batch_limit=batch_limit)
+        self._assert_equivalent(config, random_workload(17, 2))
+
+    @pytest.mark.parametrize("vectorised", [False, True])
+    @pytest.mark.parametrize("per_gpu", [False, True])
+    @pytest.mark.parametrize("seed", [3, 8])
+    def test_kernel_knob_matrix(self, vectorised, per_gpu, seed):
+        """Equivalence must hold for every (kernel, parking-gate)
+        combination, not just the defaults."""
+        config = replace(
+            small_config(2),
+            fastpath_vectorised=vectorised,
+            fastpath_per_gpu=per_gpu,
+        )
+        self._assert_equivalent(config, random_workload(seed, 2))
+
+    def test_empty_and_single_access_lanes(self):
+        """Lanes with zero or one access must neither wedge the parking
+        protocol nor perturb the other lanes' replay."""
+        busy = [(1, BASE_VPN + 100 + (i % 4), i % 5 == 0) for i in range(50)]
+        traces = [
+            [busy, []],                       # one busy lane, one empty
+            [[(0, BASE_VPN + 200, False)], [(3, BASE_VPN + 1, True)]],
+        ]
+        workload = Workload(name="degenerate", traces=traces)
+        self._assert_equivalent(small_config(2), workload)
+
+    def test_all_lanes_empty(self):
+        workload = Workload(name="empty", traces=[[[], []], [[], []]])
+        self._assert_equivalent(small_config(2), workload)
+
+    def test_eight_gpu_topology(self):
+        config = small_config(8)
+        self._assert_equivalent(config, random_workload(3, 8))
+        config = small_config(8, InvalidationScheme.BROADCAST)
+        self._assert_equivalent(config, random_workload(4, 8))
+
+
+class TestCheckpointMidBatch:
+    """Checkpoints taken while lanes are parked must round-trip: the
+    parked replay state (index, arrival, release ring) is part of the
+    snapshot, and resuming must reproduce the uninterrupted result."""
+
+    def _workload(self):
+        return TestEngagement.tlb_resident_workload(
+            num_gpus=2, lanes=2, accesses=1500, pages=8
+        )
+
+    def test_checkpoint_while_parked_resumes_identically(self, tmp_path):
+        import glob
+
+        from dataclasses import asdict
+        from repro.sim import snapshot as snap
+
+        config = small_config(2)
+        workload = self._workload()
+        base = MultiGPUSystem(config, seed=7).run(workload)
+        system = MultiGPUSystem(config, seed=7)
+        checkpointed = system.run(
+            workload, checkpoint_every=3000, checkpoint_dir=tmp_path
+        )
+        assert system.fastpath is not None and system.fastpath.parks > 0
+        assert asdict(checkpointed) == asdict(base)
+        paths = sorted(glob.glob(str(tmp_path / "ckpt-*.ckpt")))
+        assert paths, "no checkpoints written"
+        # At least one snapshot must actually catch a lane mid-batch;
+        # otherwise this test is vacuous.
+        parked_snapshots = [
+            p
+            for p in paths
+            if any(
+                lane["phase"] == "parked"
+                for lane in snap.load_checkpoint(p)["lanes"]
+            )
+        ]
+        assert parked_snapshots, "no checkpoint caught a parked lane"
+        for path in parked_snapshots[:2] + paths[-1:]:
+            _sys, resumed = snap.resume_run(path)
+            assert asdict(resumed) == asdict(base), f"resume of {path} diverged"
+
+    def test_parked_ring_pickles_to_plain_ints(self, tmp_path):
+        """The vectorised kernel rebuilds rings from numpy arrays; the
+        snapshot layer pickles them, so they must be Python ints (a
+        numpy scalar would silently change the checkpoint bytes)."""
+        import glob
+
+        from repro.sim import snapshot as snap
+
+        system = MultiGPUSystem(small_config(2), seed=7)
+        system.run(self._workload(), checkpoint_every=3000,
+                   checkpoint_dir=tmp_path)
+        paths = sorted(glob.glob(str(tmp_path / "ckpt-*.ckpt")))
+        seen_parked = False
+        for path in paths:
+            for lane in snap.load_checkpoint(path)["lanes"]:
+                if lane["phase"] != "parked":
+                    continue
+                seen_parked = True
+                assert type(lane["index"]) is int
+                assert type(lane["arrival"]) is int
+                assert all(type(r) is int for r in lane["ring"])
+        assert seen_parked, "no checkpoint caught a parked lane"

@@ -96,3 +96,69 @@ class TestCliIntegration:
             "--output-dir", str(tmp_path / "cur"), "--compare", str(out1),
         ])
         assert code == 1
+
+
+class TestAdvisoryDeltas:
+    """ops/s and peak-RSS deltas are printed next to the wall-time
+    verdict but never gate: only wall_s can fail a comparison."""
+
+    def _record(self, name, wall_s, ops_per_s=None, rss=None, quick=True):
+        return {
+            "name": name, "wall_s": wall_s, "ops": 100,
+            "ops_per_s": ops_per_s if ops_per_s is not None else 100 / wall_s,
+            "peak_rss_kb": rss if rss is not None else 1, "quick": quick,
+        }
+
+    def _write_baseline(self, tmp_path, record):
+        (tmp_path / f"BENCH_{record['name']}.json").write_text(json.dumps(record))
+
+    def test_deltas_shown_on_compare_line(self, tmp_path, capsys):
+        self._write_baseline(
+            tmp_path, self._record("engine_drain", 1.0, ops_per_s=100.0, rss=1000)
+        )
+        current = {
+            "engine_drain": self._record(
+                "engine_drain", 1.0, ops_per_s=150.0, rss=1100
+            )
+        }
+        assert compare_benchmarks(current, tmp_path, threshold=0.10) == []
+        out = capsys.readouterr().out
+        assert "ops/s +50.0%" in out
+        assert "rss +10.0%" in out
+
+    def test_deltas_never_gate(self, tmp_path):
+        """A 10x throughput collapse and 10x RSS blow-up with flat wall
+        time must still pass."""
+        self._write_baseline(
+            tmp_path, self._record("engine_drain", 1.0, ops_per_s=1000.0, rss=100)
+        )
+        current = {
+            "engine_drain": self._record(
+                "engine_drain", 1.0, ops_per_s=100.0, rss=1000
+            )
+        }
+        assert compare_benchmarks(current, tmp_path, threshold=0.10) == []
+
+    def test_regression_line_still_carries_deltas(self, tmp_path, capsys):
+        self._write_baseline(
+            tmp_path, self._record("engine_drain", 1.0, ops_per_s=100.0, rss=1000)
+        )
+        current = {
+            "engine_drain": self._record(
+                "engine_drain", 2.0, ops_per_s=50.0, rss=1000
+            )
+        }
+        messages = compare_benchmarks(current, tmp_path, threshold=0.10)
+        assert len(messages) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "ops/s -50.0%" in out
+
+    def test_old_baseline_without_fields_is_tolerated(self, tmp_path, capsys):
+        """Baselines written before these fields existed produce no
+        advisory bracket rather than a crash."""
+        base = {"name": "engine_drain", "wall_s": 1.0, "quick": True}
+        self._write_baseline(tmp_path, base)
+        current = {"engine_drain": self._record("engine_drain", 1.0)}
+        assert compare_benchmarks(current, tmp_path, threshold=0.10) == []
+        out = capsys.readouterr().out
+        assert "[" not in out
