@@ -253,6 +253,83 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fixture directory (default: <repo>/tests/golden)",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="failure-trace chaos campaigns (generate traces, run "
+        "campaigns with recovery metrics)",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    gen = chaos_sub.add_parser(
+        "gen", help="generate a seeded failure trace for a topology"
+    )
+    gen.add_argument("output", help="trace output path (JSONL)")
+    gen.add_argument("--gpus", type=int, default=4)
+    gen.add_argument(
+        "--horizon", type=int, default=2_000_000,
+        help="trace length in cycles (default 2M)",
+    )
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument(
+        "--link-mttf", type=int, default=400_000,
+        help="mean cycles between failures per link",
+    )
+    gen.add_argument(
+        "--gpu-mttf", type=int, default=600_000,
+        help="mean cycles between walker-storm/IRMB-wave episodes per GPU",
+    )
+    gen.add_argument(
+        "--down-fraction", type=float, default=0.3,
+        help="probability a link failure is a total outage (vs degraded)",
+    )
+    gen.add_argument(
+        "--mean-outage", type=int, default=20_000,
+        help="cap on link_down episode length in cycles",
+    )
+    gen.add_argument(
+        "--mean-degraded", type=int, default=60_000,
+        help="mean degraded-window length in cycles",
+    )
+
+    crun = chaos_sub.add_parser(
+        "run", help="run a campaign: workload + failure trace + recovery metrics"
+    )
+    crun.add_argument(
+        "app", nargs="?", default=None,
+        help=f"one of {APP_ORDER} or a DNN model (omit with --resume)",
+    )
+    crun.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="failure trace from `repro chaos gen` (required unless --resume)",
+    )
+    crun.add_argument(
+        "--scheme",
+        choices=[s.value for s in InvalidationScheme],
+        default=InvalidationScheme.BROADCAST.value,
+    )
+    crun.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="uniform base fault rates layered under the trace "
+        "(same SPEC syntax as `repro run --faults`)",
+    )
+    crun.add_argument(
+        "--report", metavar="PATH", default=None,
+        help="also write the campaign report as JSON to PATH",
+    )
+    crun.add_argument(
+        "--checkpoint-every", metavar="CYCLES", type=int, default=None,
+        help="periodic restorable checkpoints (see `repro run`)",
+    )
+    crun.add_argument(
+        "--checkpoint-dir", metavar="DIR", default="checkpoints",
+    )
+    crun.add_argument(
+        "--resume", metavar="CKPT", default=None,
+        help="resume a checkpointed campaign (trace and sizing come from "
+        "the checkpoint)",
+    )
+    add_sim_args(crun)
+
     fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing of the replay tiers "
@@ -352,7 +429,15 @@ def _cmd_run(args) -> int:
         from .faults.profiles import parse_fault_spec
 
         try:
-            config = config.with_faults(parse_fault_spec(args.faults))
+            fault_config, chaos_path = parse_fault_spec(args.faults, with_trace=True)
+            if chaos_path is not None:
+                from .experiments.campaign import campaign_config
+                from .faults.tracegen import load_trace
+
+                spec = load_trace(chaos_path, expect_num_gpus=args.gpus)
+                config = campaign_config(config, spec, faults=fault_config)
+            else:
+                config = config.with_faults(fault_config)
         except ConfigError as exc:
             print(f"error: bad --faults spec: {exc}", file=sys.stderr)
             return 2
@@ -526,6 +611,108 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos_gen(args) -> int:
+    from collections import Counter
+
+    from .faults.tracegen import generate_trace, save_trace
+
+    spec = generate_trace(
+        args.gpus,
+        args.horizon,
+        args.seed,
+        link_mttf=args.link_mttf,
+        gpu_mttf=args.gpu_mttf,
+        link_down_fraction=args.down_fraction,
+        mean_outage=args.mean_outage,
+        mean_degraded=args.mean_degraded,
+    )
+    path = save_trace(spec, args.output)
+    kinds = Counter(ep.kind for ep in spec.episodes)
+    pretty = ", ".join(f"{k}={v}" for k, v in sorted(kinds.items())) or "none"
+    print(
+        f"wrote {path}: {len(spec.episodes)} episodes over {args.horizon:,} "
+        f"cycles for {args.gpus} GPUs (fingerprint {spec.fingerprint})"
+    )
+    print(f"  {pretty}")
+    return 0
+
+
+def _cmd_chaos_run(args) -> int:
+    from .config import ConfigError
+    from .experiments.campaign import (
+        campaign_config, campaign_report, format_report, run_campaign,
+        write_report,
+    )
+    from .faults.profiles import parse_fault_spec
+    from .faults.tracegen import load_trace
+
+    if args.resume:
+        from .sim.snapshot import CheckpointError
+
+        try:
+            system, result = run_campaign(
+                args.app or "",
+                None,
+                lanes=args.lanes,
+                accesses_per_lane=args.accesses,
+                seed=args.seed,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=args.checkpoint_dir,
+                resume_from=args.resume,
+            )
+        except CheckpointError as exc:
+            print(f"error: cannot resume from {args.resume}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        if not args.app or not args.trace:
+            print(
+                "error: APP and --trace are required unless --resume is given",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            spec = load_trace(args.trace, expect_num_gpus=args.gpus)
+            faults = (
+                parse_fault_spec(args.faults) if args.faults else None
+            )
+            config = baseline_config(args.gpus).with_scheme(
+                InvalidationScheme(args.scheme)
+            )
+            if args.no_fastpath:
+                config = config.with_fastpath(False)
+            config = campaign_config(config, spec, faults=faults)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        system, result = run_campaign(
+            args.app,
+            config,
+            lanes=args.lanes,
+            accesses_per_lane=args.accesses,
+            seed=args.seed,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+    if args.checkpoint_every and system._controller is not None:
+        controller = system._controller
+        print(
+            f"wrote {controller.written} checkpoint(s) to "
+            f"{args.checkpoint_dir} ({controller.retries} quiescence retries)"
+        )
+    report = campaign_report(system, result)
+    print(format_report(report))
+    if args.report:
+        write_report(report, args.report)
+        print(f"wrote {args.report}")
+    return _report_abort(result, system)
+
+
+def _cmd_chaos(args) -> int:
+    if args.chaos_command == "gen":
+        return _cmd_chaos_gen(args)
+    return _cmd_chaos_run(args)
+
+
 def _cmd_fuzz(args) -> int:
     from .experiments.fuzz import FuzzSpec, check_spec, fuzz
     from .gpu.fastpath import HAVE_NUMPY
@@ -582,6 +769,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_golden(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     return 2
 
 

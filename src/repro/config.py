@@ -23,6 +23,9 @@ __all__ = [
     "InterconnectConfig",
     "UVMConfig",
     "FaultConfig",
+    "ChaosEpisode",
+    "ChaosTraceSpec",
+    "CHAOS_EPISODE_KINDS",
     "SystemConfig",
     "baseline_config",
 ]
@@ -334,6 +337,104 @@ class FaultConfig:
         return min(self.ack_timeout * self.retry_backoff ** attempt, self.ack_timeout_max)
 
 
+#: episode kinds a failure trace may schedule.  Link kinds target a link
+#: name (``pcie2.down``); component kinds target a GPU (``gpu1``).
+CHAOS_EPISODE_KINDS = ("link_down", "degraded", "walker_stall_storm", "irmb_wave")
+
+_LINK_EPISODE_KINDS = ("link_down", "degraded")
+
+
+@dataclass(frozen=True)
+class ChaosEpisode:
+    """One scheduled fault episode from a failure trace.
+
+    The episode is *active* over ``[start, start + duration)``; how its
+    ``severity`` is interpreted depends on the kind (DESIGN.md §10):
+
+    * ``link_down`` — the target link is out of service: protocol
+      messages routed over it are dropped, bulk transfers stall until
+      the episode ends (severity is recorded but the outage is total);
+    * ``degraded`` — the target link is lossy: protocol messages are
+      dropped with probability ``severity`` and bulk transfers pick up
+      severity-scaled jitter;
+    * ``walker_stall_storm`` — each GMMU walk on the target GPU stalls
+      an extra ``walker_stall_cycles`` with probability ``severity``;
+    * ``irmb_wave`` — each invalidation accepted by the target GPU's
+      IRMB force-evicts the LRU entry with probability ``severity``.
+    """
+
+    eid: int
+    kind: str
+    target: str
+    start: int
+    duration: int
+    severity: float
+
+    def __post_init__(self) -> None:
+        _require(self.eid >= 0, "chaos episode id cannot be negative")
+        if self.kind not in CHAOS_EPISODE_KINDS:
+            raise ConfigError(
+                f"unknown chaos episode kind {self.kind!r}; "
+                f"have {list(CHAOS_EPISODE_KINDS)}"
+            )
+        _require(bool(self.target), "chaos episode needs a target")
+        _require(self.start >= 1, "chaos episode start must be >= 1")
+        _require(self.duration >= 1, "chaos episode duration must be >= 1")
+        _require(
+            0.0 < self.severity <= 1.0,
+            f"chaos episode severity must be in (0, 1] (got {self.severity})",
+        )
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+    @property
+    def is_link_episode(self) -> bool:
+        return self.kind in _LINK_EPISODE_KINDS
+
+
+@dataclass(frozen=True)
+class ChaosTraceSpec:
+    """A loaded failure trace: topology identity plus its episodes.
+
+    The spec is embedded in :class:`SystemConfig` (so checkpoints and
+    result-cache keys carry the *content* of the trace, not a path that
+    may have changed) and in every trace file header.  ``fingerprint``
+    pins the topology the trace was generated for; the loader refuses a
+    trace whose fingerprint does not match the simulated topology
+    (:func:`repro.interconnect.topology.topology_fingerprint`).
+    """
+
+    seed: int
+    horizon: int
+    num_gpus: int
+    fingerprint: str
+    episodes: tuple = ()
+
+    def __post_init__(self) -> None:
+        _require(self.horizon >= 1, "chaos trace horizon must be >= 1")
+        _require(self.num_gpus >= 1, "chaos trace num_gpus must be >= 1")
+        _require(bool(self.fingerprint), "chaos trace needs a topology fingerprint")
+        if not isinstance(self.episodes, tuple):
+            raise ConfigError("chaos trace episodes must be a tuple")
+        previous = -1
+        for episode in self.episodes:
+            if not isinstance(episode, ChaosEpisode):
+                raise ConfigError("chaos trace episodes must be ChaosEpisode objects")
+            if episode.start < previous:
+                raise ConfigError("chaos trace episodes must be sorted by start time")
+            previous = episode.start
+            if episode.end > self.horizon:
+                raise ConfigError(
+                    f"chaos episode {episode.eid} ends at {episode.end}, "
+                    f"past the trace horizon {self.horizon}"
+                )
+        ids = [e.eid for e in self.episodes]
+        if len(set(ids)) != len(ids):
+            raise ConfigError("chaos episode ids must be unique")
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Full multi-GPU system configuration (Table 2 defaults)."""
@@ -350,6 +451,9 @@ class SystemConfig:
     vm_cache: VMCacheConfig = field(default_factory=VMCacheConfig)
     transfw: TransFWConfig = field(default_factory=TransFWConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    #: scheduled failure trace driving time-varying per-link/per-GPU
+    #: fault episodes (None = uniform-rate profile in ``faults`` only).
+    chaos_trace: Optional[ChaosTraceSpec] = None
 
     migration_policy: MigrationPolicy = MigrationPolicy.ACCESS_COUNTER
     invalidation_scheme: InvalidationScheme = InvalidationScheme.BROADCAST
@@ -401,6 +505,11 @@ class SystemConfig:
         _require(self.dram_latency >= 0, "dram_latency cannot be negative")
         _require(self.inflight_per_cu >= 1, "inflight_per_cu must be >= 1")
         _require(self.trace_lanes >= 1, "trace_lanes must be >= 1")
+        if self.chaos_trace is not None and self.chaos_trace.num_gpus != self.num_gpus:
+            raise ConfigError(
+                f"chaos trace was generated for {self.chaos_trace.num_gpus} "
+                f"GPUs, config has {self.num_gpus}"
+            )
 
     # -- convenience constructors for the evaluation's variants ---------
 
@@ -433,6 +542,10 @@ class SystemConfig:
 
     def with_fastpath(self, enabled: bool) -> "SystemConfig":
         return replace(self, fastpath_enabled=enabled)
+
+    def with_chaos(self, trace: Optional[ChaosTraceSpec]) -> "SystemConfig":
+        """Attach (or detach, with None) a scheduled failure trace."""
+        return replace(self, chaos_trace=trace)
 
     def with_faults(self, faults: Optional[FaultConfig] = None, **overrides) -> "SystemConfig":
         """Attach a fault profile (or override fields of the current one)."""

@@ -50,6 +50,9 @@ class LazyInvalidationController:
         self._tracer = engine.tracer
         self._nonempty_waiter: Optional[Event] = None
         self._stopped = False
+        #: called with the VPN whenever a writeback walk actually applies
+        #: (owner GPU hooks this to flush TLB fills that raced with it).
+        self.on_applied = None
         #: VPNs evicted from the IRMB but whose walk has not started yet.
         self._queued_for_walk: Set[int] = set()
         #: VPNs cancelled while queued (fresh mapping raced in).
@@ -157,6 +160,8 @@ class LazyInvalidationController:
     def _walk_retired(self, vpn: int, request: WalkRequest) -> None:
         if self._inflight_walks.get(vpn) is request:
             del self._inflight_walks[vpn]
+        if not request.aborted and self.on_applied is not None:
+            self.on_applied(vpn)
 
     def _propagate(self, vpns: Iterable[int], paced: bool = False):
         """Batch of INVALIDATE walks for one merged entry.

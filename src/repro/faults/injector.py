@@ -66,6 +66,16 @@ class FaultInjector:
     def enabled(self) -> bool:
         return self.config.enabled
 
+    @property
+    def fastpath_safe(self) -> bool:
+        """Whether the batched replay fast path may run alongside this
+        injector.  The uniform-rate injector perturbs translation
+        micro-architecture (walker stalls, IRMB pressure) that the fast
+        path does not model, so it always forces the event path; the
+        scheduled (chaos) subclass overrides this — outside episodes it
+        is a pure pass-through and the fast path stays sound."""
+        return False
+
     def _stream(self, tag: str) -> random.Random:
         rng = self._streams.get(tag)
         if rng is None:
@@ -74,7 +84,7 @@ class FaultInjector:
 
     # -- message perturbation (invalidation / ack packets) -----------------
 
-    def message_plan(self, tag: str) -> MessagePlan:
+    def message_plan(self, tag: str, link: str = None) -> MessagePlan:
         """Decide the fate of one protocol message at site ``tag``.
 
         Drop dominates (a dropped message cannot also be delayed);
@@ -82,6 +92,11 @@ class FaultInjector:
         large extra delay — enough for later messages to overtake this
         one on the link — drawn from the upper half of ``delay_max``;
         plain delay jitter draws from the lower half.
+
+        ``link`` names the link the message is about to traverse; the
+        base injector ignores it (its streams and draw counts pin the
+        faulted golden traces), but the scheduled chaos subclass overlays
+        per-link episode effects on top of the base decision.
         """
         cfg = self.config
         rng = self._stream(tag)

@@ -7,12 +7,19 @@ optional leading preset, e.g.::
     --faults heavy
     --faults drop=0.1,dup=0.05,reorder=0.1
     --faults light,walker_stall=0.2,ack_timeout=2000
+    --faults trace=failures.jsonl,watchdog=on
+
+The ``trace=PATH`` key names a chaos failure trace (see
+:mod:`repro.faults.tracegen`); it is not a :class:`FaultConfig` field,
+so callers that want it must pass ``with_trace=True`` and receive a
+``(FaultConfig, trace_path)`` pair.
 """
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import fields, replace
-from typing import Dict
+from typing import Dict, Optional, Tuple, Union
 
 from ..config import ConfigError, FaultConfig
 
@@ -43,9 +50,23 @@ _ALIASES = {
     "stall": "walker_stall_rate",
     "irmb_pressure": "irmb_pressure_rate",
     "pressure": "irmb_pressure_rate",
+    "timeout": "ack_timeout",
+    "retries": "max_retries",
+    "watchdog": "watchdog_enabled",
+    "stall_cycles": "walker_stall_cycles",
+    "audit": "audit_interval",
 }
 
 _FIELD_TYPES = {f.name: f.type for f in fields(FaultConfig)}
+
+# Drift guard: every alias must resolve to a real FaultConfig field, so
+# renaming a field without updating the alias table fails at import time
+# rather than surfacing as a confusing "unknown knob" at parse time.
+_bad_aliases = set(_ALIASES.values()) - set(_FIELD_TYPES)
+assert not _bad_aliases, f"fault-spec aliases name unknown fields: {_bad_aliases}"
+
+#: keys handled by the spec parser itself rather than FaultConfig.
+_SPEC_ONLY_KEYS = ("trace",)
 
 
 def _coerce(name: str, raw: str):
@@ -63,10 +84,39 @@ def _coerce(name: str, raw: str):
     raise ConfigError(f"cannot parse {raw!r} for fault knob {name!r}")
 
 
-def parse_fault_spec(spec: str) -> FaultConfig:
-    """Parse a ``--faults`` spec into a :class:`FaultConfig`."""
+def _unknown_key_error(key: str) -> ConfigError:
+    """A ConfigError that lists fields and aliases separately and
+    suggests close matches for the typo'd key."""
+    known = sorted(set(_FIELD_TYPES) | set(_ALIASES) | set(_SPEC_ONLY_KEYS))
+    close = difflib.get_close_matches(key, known, n=3, cutoff=0.6)
+    msg = [f"unknown fault knob {key!r}."]
+    if close:
+        msg.append(f"Did you mean: {', '.join(close)}?")
+    msg.append(f"Fields: {', '.join(sorted(_FIELD_TYPES))}.")
+    alias_list = ", ".join(
+        f"{a}={_ALIASES[a]}" for a in sorted(_ALIASES)
+    )
+    msg.append(f"Aliases: {alias_list}.")
+    msg.append("Special: trace=PATH (chaos failure trace; JSONL from "
+               "`repro chaos gen`).")
+    return ConfigError(" ".join(msg))
+
+
+def parse_fault_spec(
+    spec: str, *, with_trace: bool = False
+) -> Union[FaultConfig, Tuple[FaultConfig, Optional[str]]]:
+    """Parse a ``--faults`` spec.
+
+    Returns the :class:`FaultConfig`, or — with ``with_trace=True`` —
+    a ``(FaultConfig, trace_path)`` pair where ``trace_path`` is the
+    value of the ``trace=`` key (``None`` if absent).  Without
+    ``with_trace``, a ``trace=`` key is an error with a pointer to the
+    chaos CLI, so contexts that cannot honour a trace never silently
+    ignore one.
+    """
     config = FaultConfig()
     overrides = {}
+    trace_path: Optional[str] = None
     for i, part in enumerate(p.strip() for p in spec.split(",")):
         if not part:
             continue
@@ -84,14 +134,25 @@ def parse_fault_spec(spec: str) -> FaultConfig:
             continue
         key, _, raw = part.partition("=")
         key = key.strip()
+        if key == "trace":
+            if not with_trace:
+                raise ConfigError(
+                    "trace= is only valid where a chaos failure trace can "
+                    "be replayed (e.g. `repro run --faults trace=...` or "
+                    "`repro chaos run`)"
+                )
+            trace_path = raw.strip()
+            if not trace_path:
+                raise ConfigError("trace= needs a file path")
+            continue
         name = _ALIASES.get(key, key)
         if name not in _FIELD_TYPES:
-            raise ConfigError(
-                f"unknown fault knob {key!r}; have "
-                f"{sorted(set(_FIELD_TYPES) | set(_ALIASES))}"
-            )
+            raise _unknown_key_error(key)
         try:
             overrides[name] = _coerce(name, raw.strip())
         except ValueError as exc:
             raise ConfigError(f"bad value for fault knob {key!r}: {exc}") from None
-    return replace(config, **overrides) if overrides else config
+    result = replace(config, **overrides) if overrides else config
+    if with_trace:
+        return result, trace_path
+    return result

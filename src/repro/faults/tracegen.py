@@ -1,0 +1,239 @@
+"""Standalone failure-trace generator for chaos campaigns.
+
+Shape follows the LinkGuardian methodology: a generator that knows the
+*topology* (which links exist) and per-site failure statistics — mean
+time to failure, episode-duration and severity distributions — and emits
+a timestamped, seeded failure trace.  The trace is a small JSONL file: a
+header line carrying the generator parameters plus the **topology
+fingerprint**, then one line per episode sorted by start time.  The
+loader recomputes the fingerprint for the system it is about to drive
+and rejects a trace generated for a different topology, so a trace
+naming ``pcie6.down`` can never be silently replayed against a 4-GPU
+machine.
+
+Two site classes exist:
+
+* **link sites** (every ``nvlink*/pcie*`` link): episodes are either a
+  total outage (``link_down``, severity 1.0) or a lossy/degraded window
+  (``degraded``, severity = loss probability);
+* **GPU sites** (``gpu0`` ...): translation-machinery weather —
+  ``walker_stall_storm`` (page-walker stall bursts) and ``irmb_wave``
+  (invalidation-buffer pressure forcing early evictions).
+
+Each site draws from its own named RNG stream
+(``chaosgen:<site>:<kind>``), so adding a site or changing one
+distribution never perturbs the episodes generated for the others.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..config import ChaosEpisode, ChaosTraceSpec, ConfigError
+from ..interconnect.topology import link_names, topology_fingerprint
+from ..sim.rng import stream
+
+__all__ = ["generate_trace", "save_trace", "load_trace", "TRACE_FORMAT"]
+
+#: header ``format`` tag; bumped if the line schema ever changes.
+TRACE_FORMAT = "chaos-trace-v1"
+
+
+def _site_episodes(
+    seed: int,
+    site: str,
+    kind: str,
+    horizon: int,
+    mttf: int,
+    mean_duration: int,
+    severity_lo: float,
+    severity_hi: float,
+) -> List[dict]:
+    """Episodes for one (site, kind) pair: exponential inter-arrival
+    times with mean ``mttf``, exponential durations with mean
+    ``mean_duration``, uniform severities.  Episodes overrunning the
+    horizon are clipped; zero-length remnants are dropped."""
+    rng = stream(seed, f"chaosgen:{site}:{kind}")
+    out: List[dict] = []
+    now = 0
+    while True:
+        gap = max(1, round(rng.expovariate(1.0 / mttf)))
+        start = now + gap
+        if start >= horizon:
+            return out
+        duration = max(1, round(rng.expovariate(1.0 / mean_duration)))
+        duration = min(duration, horizon - start)
+        severity = rng.uniform(severity_lo, severity_hi)
+        out.append(
+            {"kind": kind, "target": site, "start": start,
+             "duration": duration, "severity": round(severity, 6)}
+        )
+        # Sites recover before failing again: next draw starts at the end
+        # of this episode, keeping one site's episodes non-overlapping.
+        now = start + duration
+
+
+def generate_trace(
+    num_gpus: int,
+    horizon: int,
+    seed: int,
+    *,
+    link_mttf: int = 400_000,
+    link_down_fraction: float = 0.3,
+    mean_outage: int = 20_000,
+    mean_degraded: int = 60_000,
+    degraded_severity: tuple = (0.05, 0.5),
+    gpu_mttf: int = 600_000,
+    mean_storm: int = 30_000,
+    storm_severity: tuple = (0.2, 0.8),
+) -> ChaosTraceSpec:
+    """Generate a seeded failure trace for an ``num_gpus``-GPU system.
+
+    ``link_mttf``/``gpu_mttf`` are mean cycles between failures per
+    site; ``link_down_fraction`` is the probability a link failure is a
+    total outage rather than a degraded window.  Returns a validated
+    :class:`ChaosTraceSpec` (episodes sorted by start, fingerprint
+    embedded).  Same arguments → byte-identical trace.
+    """
+    if horizon < 2:
+        raise ConfigError("chaos trace horizon must be at least 2 cycles")
+    raw: List[dict] = []
+    for name in link_names(num_gpus):
+        split = stream(seed, f"chaosgen:{name}:split")
+        for ep in _site_episodes(
+            seed, name, "degraded", horizon, link_mttf,
+            mean_degraded, degraded_severity[0], degraded_severity[1],
+        ):
+            # One split draw per failure decides outage vs degradation,
+            # re-shaping link_down episodes from the degraded stream so
+            # the two kinds share arrival statistics.
+            if split.random() < link_down_fraction:
+                ep = {**ep, "kind": "link_down", "severity": 1.0,
+                      "duration": max(1, min(ep["duration"],
+                                             max(1, mean_outage)))}
+            raw.append(ep)
+    for g in range(num_gpus):
+        site = f"gpu{g}"
+        for kind in ("walker_stall_storm", "irmb_wave"):
+            raw.extend(_site_episodes(
+                seed, site, kind, horizon, gpu_mttf,
+                mean_storm, storm_severity[0], storm_severity[1],
+            ))
+    raw.sort(key=lambda e: (e["start"], e["target"], e["kind"]))
+    episodes = tuple(
+        ChaosEpisode(eid=i, **ep) for i, ep in enumerate(raw)
+    )
+    return ChaosTraceSpec(
+        seed=seed,
+        horizon=horizon,
+        num_gpus=num_gpus,
+        fingerprint=topology_fingerprint(num_gpus),
+        episodes=episodes,
+    )
+
+
+def save_trace(spec: ChaosTraceSpec, path: Union[str, Path]) -> Path:
+    """Write a trace as JSONL: one header line, then one episode per
+    line in start order.  Deterministic: same spec → same bytes."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(
+        {"format": TRACE_FORMAT, "seed": spec.seed, "horizon": spec.horizon,
+         "num_gpus": spec.num_gpus, "fingerprint": spec.fingerprint,
+         "episodes": len(spec.episodes)},
+        sort_keys=True, separators=(",", ":"),
+    )]
+    for ep in spec.episodes:
+        lines.append(json.dumps(asdict(ep), sort_keys=True,
+                                separators=(",", ":")))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def load_trace(
+    path: Union[str, Path], *, expect_num_gpus: Optional[int] = None
+) -> ChaosTraceSpec:
+    """Load and validate a JSONL failure trace.
+
+    Rejects (``ConfigError``) malformed files, traces whose embedded
+    fingerprint does not match the fingerprint recomputed from their own
+    ``num_gpus`` (tampered/stale header), and — when
+    ``expect_num_gpus`` is given — traces generated for a different
+    topology than the system about to run.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigError(f"cannot read chaos trace {path}: {exc}") from exc
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        raise ConfigError(f"chaos trace {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"chaos trace {path}: bad header: {exc}") from exc
+    if header.get("format") != TRACE_FORMAT:
+        raise ConfigError(
+            f"chaos trace {path}: unsupported format "
+            f"{header.get('format')!r} (expected {TRACE_FORMAT!r})"
+        )
+    num_gpus = header.get("num_gpus")
+    fingerprint = header.get("fingerprint")
+    if not isinstance(num_gpus, int) or not isinstance(fingerprint, str):
+        raise ConfigError(f"chaos trace {path}: header missing "
+                          "num_gpus/fingerprint")
+    expected_fp = topology_fingerprint(num_gpus)
+    if fingerprint != expected_fp:
+        raise ConfigError(
+            f"chaos trace {path}: topology fingerprint mismatch — header "
+            f"says {fingerprint} but a {num_gpus}-GPU topology is "
+            f"{expected_fp}; the trace was generated for a different "
+            "topology (or edited by hand)"
+        )
+    if expect_num_gpus is not None and num_gpus != expect_num_gpus:
+        raise ConfigError(
+            f"chaos trace {path} was generated for a {num_gpus}-GPU "
+            f"topology but this system has {expect_num_gpus} GPUs; "
+            "regenerate the trace with `repro chaos gen "
+            f"--gpus {expect_num_gpus}`"
+        )
+    valid_targets = set(link_names(num_gpus)) | {
+        f"gpu{g}" for g in range(num_gpus)
+    }
+    episodes = []
+    for i, line in enumerate(lines[1:], start=2):
+        try:
+            rec = json.loads(line)
+            ep = ChaosEpisode(**rec)
+        except (json.JSONDecodeError, TypeError, ConfigError) as exc:
+            raise ConfigError(
+                f"chaos trace {path}:{i}: bad episode: {exc}"
+            ) from exc
+        if ep.target not in valid_targets:
+            raise ConfigError(
+                f"chaos trace {path}:{i}: episode {ep.eid} targets "
+                f"unknown site {ep.target!r} for a {num_gpus}-GPU topology"
+            )
+        if ep.is_link_episode != (not ep.target.startswith("gpu")):
+            raise ConfigError(
+                f"chaos trace {path}:{i}: episode {ep.eid} kind "
+                f"{ep.kind!r} does not match target class {ep.target!r}"
+            )
+        episodes.append(ep)
+    declared = header.get("episodes")
+    if declared is not None and declared != len(episodes):
+        raise ConfigError(
+            f"chaos trace {path}: header declares {declared} episodes "
+            f"but file holds {len(episodes)} — truncated?"
+        )
+    return ChaosTraceSpec(
+        seed=header.get("seed", 0),
+        horizon=header["horizon"],
+        num_gpus=num_gpus,
+        fingerprint=fingerprint,
+        episodes=tuple(episodes),
+    )

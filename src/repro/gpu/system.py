@@ -18,6 +18,7 @@ from __future__ import annotations
 from ..config import SystemConfig
 from ..faults.auditor import InvariantViolation, audit_loop, audit_system, protocol_dump
 from ..faults.injector import FaultInjector
+from ..faults.schedule import ChaosController, FaultTimeline, ScheduledFaultInjector
 from ..interconnect.topology import Interconnect
 from ..memory.address import AddressLayout
 from ..sim.engine import AllOf, Engine, LivenessWatchdog, SimulationAbort, WatchdogError
@@ -44,14 +45,26 @@ class MultiGPUSystem:
         self.seed = seed
         self.engine = Engine(tracer=tracer)
         self.tracer = self.engine.tracer
-        self.injector = (
-            FaultInjector(config.faults, seed, tracer=self.engine.tracer)
-            if config.faults.enabled
-            else None
-        )
+        #: failure-trace timeline (chaos campaigns); None without a trace.
+        #: A trace with zero episodes builds no injector at all, so such
+        #: a run is trivially byte-identical to an unfaulted one.
+        self.timeline = None
+        if config.chaos_trace is not None and config.chaos_trace.episodes:
+            self.timeline = FaultTimeline(config.chaos_trace)
+            self.injector = ScheduledFaultInjector(
+                config.faults, seed, self.timeline, self.engine,
+                tracer=self.engine.tracer,
+            )
+        elif config.faults.enabled:
+            self.injector = FaultInjector(config.faults, seed, tracer=self.engine.tracer)
+        else:
+            self.injector = None
         levels = 3 if config.page_size >= LARGE_PAGE_THRESHOLD else 4
         self.layout = AddressLayout(config.page_size, levels=levels)
         self.interconnect = Interconnect(self.engine, config.interconnect, config.num_gpus)
+        if isinstance(self.injector, ScheduledFaultInjector):
+            self.injector.interconnect = self.interconnect
+            self.interconnect.chaos = self.injector
         self.driver = UVMDriver(
             self.engine, config, self.interconnect, self.layout, injector=self.injector
         )
@@ -73,7 +86,7 @@ class MultiGPUSystem:
         if (
             config.fastpath_enabled
             and not self.tracer.enabled
-            and self.injector is None
+            and (self.injector is None or self.injector.fastpath_safe)
             and not config.page_replication
             and not config.transfw_enabled
         ):
@@ -100,6 +113,9 @@ class MultiGPUSystem:
         self._watchdog = None
         self._audit_proc = None
         self._controller = None
+        #: chaos campaign supervisor (spawned with the other supervisors
+        #: when a failure-trace timeline is armed).
+        self.chaos = None
         #: restored one-shot resume events still sitting in the calendar,
         #: keyed by id(event) -> (kind, lane_index, event).  The event
         #: reference keeps the object alive so ids are never reused.
@@ -191,13 +207,15 @@ class MultiGPUSystem:
         return tracker is not None and tracker.has_pending()
 
     def _spawn_supervisors(self, watchdog_resume=None, audit_resume=None,
-                           watchdog: bool = True, audit: bool = True) -> None:
-        """Arm the watchdog and periodic auditor per the fault config.
+                           watchdog: bool = True, audit: bool = True,
+                           chaos_resume=None, chaos: bool = True) -> None:
+        """Arm the watchdog, periodic auditor, and chaos-campaign
+        controller per the fault config / failure-trace timeline.
 
         The resume events (checkpoint restore) stand in for each loop's
         first interval wait; ``None`` spawns the regular loops.
-        ``watchdog``/``audit`` let a restore skip a supervisor whose loop
-        had already exited at snapshot time (simulation finished).
+        ``watchdog``/``audit``/``chaos`` let a restore skip a supervisor
+        whose loop had already exited at snapshot time.
         """
         faults = self.config.faults
         tracker = self.driver.tracker
@@ -222,6 +240,10 @@ class MultiGPUSystem:
             self._audit_proc = self.engine.process(
                 audit_loop(self, faults.audit_interval, self.still_active,
                            resume_event=audit_resume)
+            )
+        if chaos and self.timeline is not None:
+            self.chaos = ChaosController(
+                self, self.timeline, resume_event=chaos_resume
             )
 
     def _finish(self, workload) -> "SimulationResult":
@@ -257,6 +279,11 @@ class MultiGPUSystem:
                 # ones, so an aborted run can be re-examined or resumed
                 # (with faults disabled) from its last consistent state.
                 self._controller.write_emergency(workload)
+
+        if self.chaos is not None:
+            # A run can finish (or abort) between controller polls; close
+            # the campaign's straggler episode records at this instant.
+            self.chaos.finalize()
 
         from ..metrics.collector import collect
 

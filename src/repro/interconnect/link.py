@@ -143,6 +143,16 @@ class Link:
         #: in-flight transfer gauge the batched fast path consults.
         self.owner = owner
 
+    @property
+    def name(self) -> str:
+        return self.stats.name
+
+    def note_chaos(self, kind: str) -> None:
+        """Count one chaos-episode effect on this link (``chaos.drop``,
+        ``chaos.stall``, ``chaos.jitter`` ...) — kept per link so campaign
+        reports can attribute injected failures to the episode target."""
+        self.stats.counter(f"chaos.{kind}").add()
+
     def serialisation_cycles(self, num_bytes: int) -> int:
         cycles = self._ser_cache.get(num_bytes)
         if cycles is None:

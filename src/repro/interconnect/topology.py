@@ -9,13 +9,40 @@ congestion (§7.1).
 
 from __future__ import annotations
 
-from typing import Dict
+import hashlib
+import json
+from typing import Dict, List
 
 from ..config import InterconnectConfig
 from ..sim.engine import Engine, Event
 from .link import Link
 
-__all__ = ["Interconnect"]
+__all__ = ["Interconnect", "link_names", "topology_fingerprint"]
+
+
+def link_names(num_gpus: int) -> List[str]:
+    """Canonical names of every link in an ``num_gpus``-GPU topology, in
+    construction order — the identity a failure trace targets."""
+    names = [f"nvlink{g}.out" for g in range(num_gpus)]
+    for g in range(num_gpus):
+        names.append(f"pcie{g}.up")
+        names.append(f"pcie{g}.down")
+    return names
+
+
+def topology_fingerprint(num_gpus: int) -> str:
+    """Stable digest identifying the link topology a failure trace was
+    generated for.  The fingerprint is embedded in trace headers and in
+    :class:`~repro.config.ChaosTraceSpec`; the loader rejects a trace
+    whose fingerprint does not match the simulated system, so a trace
+    naming ``pcie6.down`` can never be silently replayed against a
+    4-GPU machine."""
+    canonical = json.dumps(
+        {"topology": "all-to-all-nvlink+pcie", "num_gpus": num_gpus,
+         "links": link_names(num_gpus)},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
 class Interconnect:
@@ -28,6 +55,10 @@ class Interconnect:
         #: transfers currently in flight across all links — a cheap
         #: system-wide quiescence gauge for the batched fast path.
         self.inflight = 0
+        #: optional chaos overlay (ScheduledFaultInjector).  When set,
+        #: every transfer asks it for an episode-dependent extra delay —
+        #: a downed link stalls traffic to the end of its outage.
+        self.chaos = None
         self._nvlink_out: Dict[int, Link] = {
             g: Link(
                 engine,
@@ -55,21 +86,40 @@ class Interconnect:
         if not 0 <= gpu < self.num_gpus:
             raise ValueError(f"no such GPU: {gpu}")
 
+    def fingerprint(self) -> str:
+        return topology_fingerprint(self.num_gpus)
+
+    def link(self, name: str) -> Link:
+        """Look up a link by its canonical name (``nvlink2.out`` ...)."""
+        for links in (self._nvlink_out, self._pcie_up, self._pcie_down):
+            for l in links.values():
+                if l.name == name:
+                    return l
+        raise KeyError(f"no such link: {name}")
+
+    def _chaos_delay(self, link: Link) -> int:
+        if self.chaos is None:
+            return 0
+        return self.chaos.link_transfer_delay(link)
+
     def gpu_to_gpu(self, src: int, dst: int, num_bytes: int, extra_delay: int = 0) -> Event:
         """Transfer between two GPUs over the source's NVLink port."""
         self._check_gpu(src)
         self._check_gpu(dst)
         if src == dst:
             raise ValueError("gpu_to_gpu requires distinct endpoints")
-        return self._nvlink_out[src].transfer(num_bytes, extra_delay)
+        link = self._nvlink_out[src]
+        return link.transfer(num_bytes, extra_delay + self._chaos_delay(link))
 
     def gpu_to_host(self, gpu: int, num_bytes: int, extra_delay: int = 0) -> Event:
         self._check_gpu(gpu)
-        return self._pcie_up[gpu].transfer(num_bytes, extra_delay)
+        link = self._pcie_up[gpu]
+        return link.transfer(num_bytes, extra_delay + self._chaos_delay(link))
 
     def host_to_gpu(self, gpu: int, num_bytes: int, extra_delay: int = 0) -> Event:
         self._check_gpu(gpu)
-        return self._pcie_down[gpu].transfer(num_bytes, extra_delay)
+        link = self._pcie_down[gpu]
+        return link.transfer(num_bytes, extra_delay + self._chaos_delay(link))
 
     def snapshot(self) -> dict:
         if self.inflight:

@@ -100,6 +100,16 @@ class SimulationResult:
     inval_duplicates: int = 0
     audits_run: int = 0
 
+    # chaos campaigns (failure-trace driven runs)
+    chaos_episodes: int = 0
+    chaos_episodes_recovered: int = 0
+    chaos_episodes_skipped: int = 0
+    chaos_time_to_recover_mean: float = 0.0
+    chaos_time_to_recover_max: int = 0
+    chaos_watchdog_near_misses: int = 0
+    chaos_audit_violations: int = 0
+    chaos_faults_injected: int = 0
+
     extras: Dict[str, float] = field(default_factory=dict)
 
     # -- derived -----------------------------------------------------------
@@ -216,6 +226,18 @@ def collect(system, workload) -> SimulationResult:
     injector = getattr(system, "injector", None)
     if injector is not None:
         result.faults_injected = injector.injected_total()
+
+    chaos = getattr(system, "chaos", None)
+    if chaos is not None:
+        report = chaos.report()
+        result.chaos_episodes = report["episodes_run"]
+        result.chaos_episodes_recovered = report["episodes_recovered"]
+        result.chaos_episodes_skipped = report["episodes_skipped"]
+        result.chaos_time_to_recover_mean = report["time_to_recover_mean"]
+        result.chaos_time_to_recover_max = report["time_to_recover_max"]
+        result.chaos_watchdog_near_misses = report["watchdog_near_misses"]
+        result.chaos_audit_violations = report["audit_violations"]
+        result.chaos_faults_injected = report["faults_injected"]
 
     result.nvlink_bytes = system.interconnect.nvlink_bytes()
     result.pcie_bytes = system.interconnect.pcie_bytes()

@@ -146,6 +146,7 @@ def _classify_calendar(system) -> Tuple[List[tuple], Dict[int, List[int]]]:
     }
     watchdog_proc = system._watchdog._proc if system._watchdog is not None else None
     audit_proc = system._audit_proc
+    chaos_proc = system.chaos._proc if system.chaos is not None else None
     controller_proc = system._controller._proc if system._controller is not None else None
     resume_symbols = system._resume_symbols
 
@@ -171,6 +172,9 @@ def _classify_calendar(system) -> Tuple[List[tuple], Dict[int, List[int]]]:
                 continue
             if owner is audit_proc:
                 symbols.append((time, seq, "audit", None))
+                continue
+            if owner is chaos_proc:
+                symbols.append((time, seq, "chaos", None))
                 continue
             if owner is controller_proc:
                 continue  # the restore spawns its own controller
@@ -397,6 +401,7 @@ def snapshot_system(system, workload, exact: bool = True) -> dict:
         "gpus": [gpu.snapshot() for gpu in system.gpus],
         "interconnect": system.interconnect.snapshot(),
         "injector": system.injector.snapshot() if system.injector is not None else None,
+        "chaos": system.chaos.snapshot() if system.chaos is not None else None,
         "tracer": system.tracer.snapshot() if system.tracer.enabled else None,
     }
 
@@ -462,6 +467,7 @@ def restore_system(payload: dict, override_config=None, tracer=None):
     gap_events: Dict[int, Event] = {}
     watchdog_event: Optional[Event] = None
     audit_event: Optional[Event] = None
+    chaos_event: Optional[Event] = None
     heap: List[tuple] = []
     for time, seq, kind, idx in payload["calendar"]:
         if kind == "release":
@@ -474,6 +480,8 @@ def restore_system(payload: dict, override_config=None, tracer=None):
             watchdog_event = event
         elif kind == "audit":
             audit_event = event
+        elif kind == "chaos":
+            chaos_event = event
         else:
             raise CheckpointError(f"unknown calendar symbol {kind!r}")
         system._resume_symbols[id(event)] = (kind, idx, event)
@@ -511,14 +519,26 @@ def restore_system(payload: dict, override_config=None, tracer=None):
         system._spawn_master(alive)
 
     master_done = payload["master_done"]
+    chaos_state = payload.get("chaos")
     system._spawn_supervisors(
         watchdog_resume=watchdog_event,
         audit_resume=audit_event,
         watchdog=(watchdog_event is not None or not master_done),
         audit=(audit_event is not None or not master_done),
+        chaos_resume=chaos_event,
+        # A finalized controller exited its loop before the snapshot; keep
+        # its record-keeping (below) but spawn no process for it.
+        chaos=(chaos_event is not None
+               or not (chaos_state or {}).get("finalized", False)),
     )
     if system._watchdog is not None and payload.get("watchdog") is not None:
         system._watchdog.restore(payload["watchdog"])
+    if system.timeline is not None and chaos_state is not None:
+        if system.chaos is None:
+            from ..faults.schedule import ChaosController
+
+            system.chaos = ChaosController(system, system.timeline, start=False)
+        system.chaos.restore(chaos_state)
     return system, workload
 
 
@@ -640,7 +660,7 @@ class CheckpointController:
         system = self.system
         while True:
             yield self.every
-            if not system.still_active():
+            if not self._active():
                 return
             while True:
                 try:
@@ -648,11 +668,22 @@ class CheckpointController:
                 except NotQuiescent:
                     self.retries += 1
                     yield self.RETRY_DELAY
-                    if not system.still_active():
+                    if not self._active():
                         return
                     continue
                 self._write(payload)
                 break
+
+    def _active(self) -> bool:
+        """Keep checkpointing while the workload runs — and, in a chaos
+        campaign, while the episode controller is still live: the
+        campaign phase outlives the lanes, and its mid-episode state
+        (timeline cursor, open recovery records) is exactly what a
+        resumable long-horizon run needs captured."""
+        if self.system.still_active():
+            return True
+        chaos = getattr(self.system, "chaos", None)
+        return chaos is not None and not chaos.finished
 
     def _write(self, payload: dict) -> None:
         path = os.path.join(

@@ -430,7 +430,8 @@ class UVMDriver:
         """
         if self.tracker is not None:
             pending = self.tracker.begin(gpu_id, vpn)
-            return self.engine.process(self._send_invalidation_hardened(pending, dst))
+            self.gpus[gpu_id].driver_busy += 1
+            return self.engine.process(self._send_invalidation_hardened_tracked(pending, dst))
         key = (gpu_id, vpn)
         self._inflight_invals[key] = self._inflight_invals.get(key, 0) + 1
         self.gpus[gpu_id].driver_busy += 1
@@ -463,6 +464,17 @@ class UVMDriver:
     # ------------------------------------------------------------------
     # Hardened invalidation (fault injection active)
     # ------------------------------------------------------------------
+
+    def _send_invalidation_hardened_tracked(self, pending: PendingInvalidation, dst: int):
+        # Same driver_busy discipline as the unhardened path, so the
+        # batched fast path never unparks a GPU with a hardened
+        # invalidation in flight.  An abandoned invalidation blocks
+        # forever inside the loop, pinning the gauge up — conservative,
+        # and moot anyway once the watchdog converts it into an abort.
+        try:
+            yield from self._send_invalidation_hardened(pending, dst)
+        finally:
+            self.gpus[pending.gpu_id].driver_busy -= 1
 
     def _send_invalidation_hardened(self, pending: PendingInvalidation, dst: int):
         """Sequence-numbered invalidation with timeout + bounded
@@ -519,9 +531,10 @@ class UVMDriver:
     def _invalidation_attempt(self, pending: PendingInvalidation, dst: int):
         """One request/ack round trip, each leg subject to the injector's
         drop / delay / duplicate / reorder plan."""
-        plan = self.injector.message_plan("inval_req")
+        req_link = f"pcie{pending.gpu_id}.down"
+        plan = self.injector.message_plan("inval_req", link=req_link)
         if plan.duplicate:
-            copy = self.injector.message_plan("inval_req_copy")
+            copy = self.injector.message_plan("inval_req_copy", link=req_link)
             self.engine.process(self._invalidation_delivery(pending, dst, copy))
         yield from self._invalidation_delivery(pending, dst, plan)
 
@@ -538,7 +551,7 @@ class UVMDriver:
         yield self.interconnect.host_to_gpu(gpu_id, CONTROL_MESSAGE_BYTES, plan.delay)
         ack = self.gpus[gpu_id].receive_invalidation(vpn, dst, seq=pending.seq)
         yield ack
-        ack_plan = self.injector.message_plan("inval_ack")
+        ack_plan = self.injector.message_plan("inval_ack", link=f"pcie{gpu_id}.up")
         if not ack_plan.clean and self._tracer.enabled:
             self._tracer.emit(
                 "fault.inject", self.name, vpn,

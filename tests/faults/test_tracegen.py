@@ -1,0 +1,166 @@
+"""Unit tests for the standalone failure-trace generator."""
+
+import json
+
+import pytest
+
+from repro.config import ChaosEpisode, ChaosTraceSpec, ConfigError
+from repro.faults.tracegen import (
+    TRACE_FORMAT,
+    generate_trace,
+    load_trace,
+    save_trace,
+)
+from repro.interconnect.topology import link_names, topology_fingerprint
+
+# Small-horizon, failure-dense parameters so unit traces stay tiny but
+# non-trivial (a handful of episodes of every kind).
+GEN = dict(link_mttf=8_000, gpu_mttf=12_000, mean_outage=1_500,
+           mean_degraded=2_000, mean_storm=1_500)
+
+
+def _gen(num_gpus=2, horizon=60_000, seed=11, **over):
+    return generate_trace(num_gpus, horizon, seed, **{**GEN, **over})
+
+
+class TestGeneration:
+    def test_deterministic_field_for_field(self):
+        a, b = _gen(), _gen()
+        assert a == b                      # frozen dataclasses compare by value
+        assert a.episodes == b.episodes
+
+    def test_save_is_byte_deterministic(self, tmp_path):
+        spec = _gen()
+        pa = save_trace(spec, tmp_path / "a.jsonl")
+        pb = save_trace(_gen(), tmp_path / "b.jsonl")
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def test_seed_changes_trace(self):
+        assert _gen(seed=11) != _gen(seed=12)
+
+    def test_structure_and_bounds(self):
+        spec = _gen()
+        assert spec.episodes, "dense parameters must yield episodes"
+        assert spec.fingerprint == topology_fingerprint(2)
+        starts = [ep.start for ep in spec.episodes]
+        assert starts == sorted(starts)
+        sites = set(link_names(2)) | {"gpu0", "gpu1"}
+        for ep in spec.episodes:
+            assert ep.target in sites
+            assert 0 < ep.start < spec.horizon
+            assert ep.start + ep.duration <= spec.horizon
+            assert 0.0 < ep.severity <= 1.0
+            if ep.kind == "link_down":
+                assert ep.severity == 1.0
+
+    def test_one_site_episodes_never_overlap(self):
+        spec = _gen(horizon=200_000)
+        by_site = {}
+        for ep in spec.episodes:
+            by_site.setdefault((ep.target, ep.kind), []).append(ep)
+        for eps in by_site.values():
+            for prev, nxt in zip(eps, eps[1:]):
+                assert prev.end <= nxt.start
+
+    def test_adding_a_site_keeps_existing_streams(self):
+        """Per-site RNG streams: gpu0/gpu1 episodes are identical whether
+        or not gpu2/gpu3 (and their links) exist."""
+        small, big = _gen(num_gpus=2), _gen(num_gpus=4)
+        keep = {"gpu0", "gpu1"}
+        small_eps = [(e.kind, e.target, e.start, e.duration, e.severity)
+                     for e in small.episodes if e.target in keep]
+        big_eps = [(e.kind, e.target, e.start, e.duration, e.severity)
+                   for e in big.episodes if e.target in keep]
+        assert small_eps == big_eps
+
+    def test_quiet_parameters_give_zero_episodes(self):
+        spec = _gen(link_mttf=10**9, gpu_mttf=10**9)
+        assert spec.episodes == ()
+
+    def test_tiny_horizon_rejected(self):
+        with pytest.raises(ConfigError, match="horizon"):
+            generate_trace(2, 1, seed=1)
+
+
+class TestRoundTrip:
+    def test_load_inverts_save(self, tmp_path):
+        spec = _gen()
+        loaded = load_trace(save_trace(spec, tmp_path / "t.jsonl"))
+        assert loaded == spec
+
+    def test_expected_topology_accepted(self, tmp_path):
+        path = save_trace(_gen(num_gpus=2), tmp_path / "t.jsonl")
+        assert load_trace(path, expect_num_gpus=2).num_gpus == 2
+
+
+class TestRejection:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def _lines(self, tmp_path, spec=None):
+        path = save_trace(spec or _gen(), tmp_path / "ok.jsonl")
+        return path.read_text().splitlines()
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        lines = self._lines(tmp_path)
+        header = json.loads(lines[0])
+        header["fingerprint"] = "0" * len(header["fingerprint"])
+        path = self._write(tmp_path, [json.dumps(header)] + lines[1:])
+        with pytest.raises(ConfigError, match="fingerprint mismatch"):
+            load_trace(path)
+
+    def test_wrong_topology_rejected(self, tmp_path):
+        """A 2-GPU trace must not drive a 4-GPU system (and the error
+        says how to regenerate it)."""
+        path = save_trace(_gen(num_gpus=2), tmp_path / "t.jsonl")
+        with pytest.raises(ConfigError, match="--gpus 4"):
+            load_trace(path, expect_num_gpus=4)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        lines = self._lines(tmp_path)
+        path = self._write(tmp_path, lines[:-1])
+        with pytest.raises(ConfigError, match="truncated"):
+            load_trace(path)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        lines = self._lines(tmp_path)
+        header = json.loads(lines[0])
+        header["format"] = "chaos-trace-v999"
+        path = self._write(tmp_path, [json.dumps(header)] + lines[1:])
+        with pytest.raises(ConfigError, match=TRACE_FORMAT):
+            load_trace(path)
+
+    def test_unknown_site_rejected(self, tmp_path):
+        lines = self._lines(tmp_path)
+        ep = json.loads(lines[1])
+        ep["target"] = "gpu9"
+        path = self._write(tmp_path, [lines[0], json.dumps(ep)] + lines[2:])
+        with pytest.raises(ConfigError, match="unknown site"):
+            load_trace(path)
+
+    def test_kind_target_class_mismatch_rejected(self, tmp_path):
+        spec = ChaosTraceSpec(
+            seed=1, horizon=1000, num_gpus=2,
+            fingerprint=topology_fingerprint(2),
+            episodes=(ChaosEpisode(eid=0, kind="irmb_wave", target="gpu0",
+                                   start=10, duration=50, severity=0.5),),
+        )
+        lines = self._lines(tmp_path, spec)
+        ep = json.loads(lines[1])
+        ep["kind"] = "link_down"           # GPU site with a link kind
+        ep["severity"] = 1.0
+        path = self._write(tmp_path, [lines[0], json.dumps(ep)])
+        with pytest.raises(ConfigError, match="does not match target class"):
+            load_trace(path)
+
+    def test_empty_and_garbage_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ConfigError, match="empty"):
+            load_trace(empty)
+        with pytest.raises(ConfigError, match="bad header"):
+            load_trace(self._write(tmp_path, ["not json at all"]))
+        with pytest.raises(ConfigError, match="cannot read"):
+            load_trace(tmp_path / "nope.jsonl")

@@ -122,6 +122,114 @@ class TestCheckpointEquivalence:
             assert dataclasses.asdict(again) == dataclasses.asdict(base)
 
 
+class TestDivergenceRegression:
+    """Pinned repro of the ROADMAP checkpoint-restore divergence.
+
+    The root cause was not restore infidelity (a restored system is
+    field-for-field identical to the live one frozen at the same
+    instant) but a replay-ordering hole in the batched fast path: a
+    parked lane could replay past a sibling parked lane's upcoming
+    escape, committing accesses against page-ownership state the
+    sibling's slow-path re-entry was about to change.  On this workload
+    the plain fastpath run silently missed an access-counter migration
+    (exec_time happened to agree with the event path; 29 stats fields
+    did not), and checkpoint resumes — whose replay bites are cut
+    differently by controller calendar entries — converged to a
+    different fixed point.  Fixed by the merge discipline in
+    ``FastPath.try_batch``: commits advance in globally nondecreasing
+    issue order across parked lanes, with escapes still discovered (and
+    their resumes sequenced) at pass-start time.
+    """
+
+    SHARED_BASE = 1 << 20
+
+    def _workload(self):
+        rng = random.Random(11)
+        traces = []
+        for _gpu in range(2):
+            gpu_lanes = []
+            for _lane in range(2):
+                gpu_lanes.append(
+                    [
+                        (rng.randint(40, 900),
+                         self.SHARED_BASE + rng.randrange(8), False)
+                        for _ in range(1500)
+                    ]
+                )
+            traces.append(gpu_lanes)
+        return Workload(name="gapheavy", traces=traces)
+
+    def _config(self, **kwargs):
+        from repro.config import InvalidationScheme
+
+        return SystemConfig(
+            num_gpus=2,
+            invalidation_scheme=InvalidationScheme.IDYLL,
+            **kwargs,
+        )
+
+    def test_fastpath_matches_event_path(self):
+        """The latent bug the divergence was a shadow of: on this
+        workload the fast path must agree with the pure event path
+        field-for-field, not just on exec_time."""
+        fast = MultiGPUSystem(self._config(), seed=7).run(self._workload())
+        slow = MultiGPUSystem(
+            self._config(fastpath_enabled=False), seed=7
+        ).run(self._workload())
+        want = dataclasses.asdict(slow)
+        got = dataclasses.asdict(fast)
+        diff = {k: (got[k], want[k]) for k in got if got[k] != want[k]}
+        assert not diff, f"fastpath diverged from event path: {diff}"
+
+    def test_every_checkpoint_resumes_exactly(self, tmp_path):
+        """The original ROADMAP repro: every checkpoint of the
+        gap-heavy shared-page run must resume to the uninterrupted
+        result (mid-run checkpoints used to land on exec_time 710006
+        instead of 711277)."""
+        base = MultiGPUSystem(self._config(), seed=7).run(self._workload())
+        system = MultiGPUSystem(self._config(), seed=7)
+        checkpointed = system.run(
+            self._workload(), checkpoint_every=3000, checkpoint_dir=tmp_path
+        )
+        want = dataclasses.asdict(base)
+        assert dataclasses.asdict(checkpointed) == want
+        paths = sorted(glob.glob(str(tmp_path / "ckpt-*.ckpt")))
+        assert len(paths) >= 8, "workload lost its quiescent windows"
+        for path in paths:
+            _system, resumed = snap.resume_run(path)
+            got = dataclasses.asdict(resumed)
+            if got != want:
+                diffs = {k: (got[k], want[k]) for k in got if got[k] != want[k]}
+                raise AssertionError(f"resume of {path} diverged: {diffs}")
+
+    def test_parked_lane_resumes_without_fastpath(self, tmp_path):
+        """A checkpoint holding parked lanes must resume under
+        ``fastpath_enabled=False`` (this used to crash in
+        ``Lane.resume_run`` calling ``repark`` on a missing fast path)
+        and still reproduce the uninterrupted result."""
+        base = MultiGPUSystem(self._config(), seed=7).run(self._workload())
+        system = MultiGPUSystem(self._config(), seed=7)
+        system.run(
+            self._workload(), checkpoint_every=3000, checkpoint_dir=tmp_path
+        )
+        paths = sorted(glob.glob(str(tmp_path / "ckpt-*.ckpt")))
+        parked_paths = [
+            p
+            for p in paths
+            if any(
+                lane["phase"] == "parked"
+                for lane in snap.load_checkpoint(p)["lanes"]
+            )
+        ]
+        assert parked_paths, "no checkpoint captured a parked lane"
+        path = parked_paths[len(parked_paths) // 2]
+        override = dataclasses.replace(
+            snap.load_checkpoint(path)["config"], fastpath_enabled=False
+        )
+        _system, resumed = snap.resume_run(path, override_config=override)
+        assert dataclasses.asdict(resumed) == dataclasses.asdict(base)
+
+
 class TestTracedResume:
     def _lines(self, tracer):
         from repro.metrics.trace_export import trace_lines

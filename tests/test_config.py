@@ -210,6 +210,47 @@ class TestFaultSpecParsing:
         assert faults.duplicate_rate == 0.5
         assert faults.walker_stall_rate == 0.25
 
+    def test_supervisor_aliases(self):
+        from repro.faults.profiles import parse_fault_spec
+
+        faults = parse_fault_spec("heavy,watchdog=on,audit=20000")
+        assert faults.watchdog_enabled is True
+        assert faults.audit_interval == 20000
+
+    def test_alias_table_cannot_drift(self):
+        """Every alias must resolve to a real FaultConfig field (the
+        import-time guard); spot-check the mapping here too."""
+        from dataclasses import fields
+
+        from repro.config import FaultConfig
+        from repro.faults.profiles import _ALIASES
+
+        names = {f.name for f in fields(FaultConfig)}
+        assert set(_ALIASES.values()) <= names
+
+    def test_unknown_knob_suggests_and_lists(self):
+        from repro.faults.profiles import parse_fault_spec
+
+        with pytest.raises(ConfigError) as exc:
+            parse_fault_spec("light,drp=0.1")
+        msg = str(exc.value)
+        assert "Did you mean" in msg and "drop" in msg
+        assert "Aliases:" in msg and "watchdog=watchdog_enabled" in msg
+
+    def test_trace_key_requires_chaos_context(self):
+        from repro.faults.profiles import parse_fault_spec
+
+        with pytest.raises(ConfigError, match="repro chaos run"):
+            parse_fault_spec("trace=failures.jsonl")
+        faults, path = parse_fault_spec(
+            "light,trace=failures.jsonl", with_trace=True
+        )
+        assert path == "failures.jsonl"
+        assert faults.enabled
+        assert parse_fault_spec("light", with_trace=True)[1] is None
+        with pytest.raises(ConfigError, match="needs a file path"):
+            parse_fault_spec("trace=", with_trace=True)
+
 
 class TestInterconnectMath:
     def test_nvlink_cycles(self):
