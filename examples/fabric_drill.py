@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Distributed-sweep drill (the CI ``distributed-sweep`` job).
+
+Acceptance drill for the sweep fabric:
+
+1. run a figure-style grid serially → reference bytes;
+2. run it on a two-"host" fleet (``local:2,local:2``) with the whole
+   grid deliberately sharded onto host 0, so host 1 must work-steal the
+   straggler's backlog — assert steals happened and the results are
+   byte-equal to serial;
+3. run it again on a fresh cache and SIGKILL one host agent while it
+   has a task on a worker — assert the coordinator declares the host
+   dead, re-dispatches, and still matches serial byte-for-byte;
+4. resume over the surviving journal family + shared cache — assert
+   nothing is recomputed (every task is a cache hit) and the bytes
+   still match.
+
+Run it directly::
+
+    python examples/fabric_drill.py
+
+It exits 0 only if every fleet execution is byte-equal to serial.
+"""
+
+import json
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.config import InvalidationScheme, baseline_config  # noqa: E402
+from repro.experiments.cache import ResultCache  # noqa: E402
+from repro.experiments.fabric import FabricRunner  # noqa: E402
+from repro.experiments.runner import ExperimentRunner  # noqa: E402
+
+SIZES = dict(lanes=2, accesses_per_lane=120, seed=7)
+HOSTS = ["local:2", "local:2"]
+
+GRID = [
+    (app, baseline_config(2).with_scheme(scheme))
+    for app in ("PR", "SC", "KM")
+    for scheme in (InvalidationScheme.BROADCAST, InvalidationScheme.IDYLL)
+]
+
+
+def result_bytes(results) -> bytes:
+    return json.dumps(
+        [asdict(r) for r in results], sort_keys=True
+    ).encode()
+
+
+def main() -> int:
+    serial = ExperimentRunner(**SIZES)
+    want = result_bytes([serial.run(app, config) for app, config in GRID])
+    print(f"reference: {len(GRID)} task(s) serial")
+
+    with tempfile.TemporaryDirectory(prefix="fabric-drill-") as tmp:
+        tmp = Path(tmp)
+
+        # 1. Straggler drill: everything lands on host 0; host 1 is
+        # idle from the first tick and must steal to contribute.
+        steal_runner = FabricRunner(
+            HOSTS,
+            cache=ResultCache(tmp / "steal"),
+            fabric_opts=dict(shard_fn=lambda keys, workers: [list(keys), []]),
+            **SIZES,
+        )
+        got = result_bytes(steal_runner.run_many(GRID, sweep_name="drill"))
+        fabric = steal_runner.last_fabric
+        assert got == want, "steal-drill fleet diverged from serial"
+        assert fabric.stolen_tasks >= 1, "idle host never stole the backlog"
+        print(f"steal drill: {fabric.steals} steal(s), "
+              f"{fabric.stolen_tasks} task(s) moved; bytes match serial")
+
+        # 2. Host-death drill: SIGKILL an agent that has a running task.
+        death_cache = ResultCache(tmp / "death")
+        death_runner = FabricRunner(HOSTS, cache=death_cache, **SIZES)
+        killed = []
+
+        def saboteur():
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                coordinator = death_runner._fabric
+                if coordinator is not None:
+                    for host in list(coordinator._hosts.values()):
+                        proc = getattr(host.channel, "proc", None)
+                        if proc is None or not host.started:
+                            continue
+                        os.kill(proc.pid, signal.SIGKILL)
+                        killed.append(host.host_id)
+                        return
+                time.sleep(0.01)
+
+        thread = threading.Thread(target=saboteur, daemon=True)
+        thread.start()
+        got = result_bytes(death_runner.run_many(GRID, sweep_name="drill"))
+        thread.join(timeout=120)
+        fabric = death_runner.last_fabric
+        assert killed, "saboteur never found a host with a running task"
+        assert fabric.host_deaths == 1, "coordinator missed the host death"
+        assert got == want, "death-drill fleet diverged from serial"
+        print(f"death drill: SIGKILLed host {killed[0]}, "
+              f"{fabric.redispatched} task(s) re-dispatched; "
+              f"bytes match serial")
+
+        # 3. Resume: the journal family + cache already hold everything.
+        resume_runner = FabricRunner(
+            HOSTS, cache=ResultCache(tmp / "death"), **SIZES
+        )
+        got = result_bytes(
+            resume_runner.run_many(GRID, sweep_name="drill", resume=True)
+        )
+        assert got == want, "resumed sweep diverged from serial"
+        assert resume_runner.cache.hits >= len(GRID), (
+            "resume recomputed finished tasks"
+        )
+        print(f"resume: {resume_runner.cache.hits} cache hit(s), "
+              f"0 recomputations; bytes match serial")
+
+    print("fabric drill passed: distributed == serial, byte-for-byte")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,7 @@ laptop runs.
 from __future__ import annotations
 
 import json
+import os
 import resource
 import time
 from pathlib import Path
@@ -198,6 +199,76 @@ def bench_macro_pr_idyll(quick: bool = False) -> Dict[str, float]:
     from .config import InvalidationScheme
 
     return _macro("PR", InvalidationScheme.IDYLL, quick)
+
+
+@_benchmark("sweep_scaling")
+def bench_sweep_scaling(quick: bool = False) -> Dict[str, float]:
+    """Distributed sweep fabric on a pinned cache-cold grid: 1 vs 2 vs 4
+    local single-worker hosts.
+
+    The gated statistic (``wall_s``) is the 2-host wall; the extra
+    fields record the whole scaling ladder — ``speedup_2w`` is the
+    headline ratio (full tier; the quick tier's tiny tasks leave agent
+    bring-up visible in the ratio).  ``cpu_count`` records the cores
+    the kernel let this process use: simulation tasks are pure CPU, so
+    the ratio is only meaningful when it is ≥ 2 — on a single-core
+    container every fleet shares one core and the ratio degenerates to
+    ~1 by construction, measuring scheduling overhead, not the fabric.
+    """
+    import shutil
+    import tempfile
+
+    from .config import InvalidationScheme, baseline_config
+    from .experiments.cache import ResultCache
+    from .experiments.fabric import FabricRunner
+
+    # Full-tier tasks are deliberately heavy (4-GPU grid, full lane
+    # count): fleet bring-up — one agent spawn plus one spawn-context
+    # worker import chain per host — is a ~1.3s constant, and the
+    # scaling ratio only means anything once per-task compute dwarfs it.
+    lanes = 2 if quick else 4
+    accesses = 300 if quick else 1200
+    apps = ["PR", "KM"] if quick else ["PR", "KM", "SC", "MM"]
+    gpus = 2 if quick else 4
+    configs = [
+        baseline_config(gpus),
+        baseline_config(gpus).with_scheme(InvalidationScheme.IDYLL),
+    ]
+    requests = [(app, config, 1.0) for app in apps for config in configs]
+
+    def fleet(hosts: List[str]) -> tuple:
+        # A fresh private cache per measurement keeps every fleet
+        # cache-cold — the grid is simulated, never served from disk.
+        tmp = tempfile.mkdtemp(prefix="repro-bench-fabric-")
+        try:
+            runner = FabricRunner(
+                hosts,
+                lanes=lanes,
+                accesses_per_lane=accesses,
+                seed=7,
+                cache=ResultCache(Path(tmp), remote=False),
+            )
+            t0 = time.perf_counter()
+            results = runner.run_many(requests, sweep_name="bench")
+            wall = time.perf_counter() - t0
+            return wall, sum(r.accesses for r in results)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    wall_1, _ = fleet(["local:1"])
+    wall_2, ops = fleet(["local:1", "local:1"])
+    wall_4, _ = fleet(["local:1", "local:1", "local:1", "local:1"])
+    return {
+        "wall_s": wall_2,
+        "ops": ops,
+        "ops_per_s": ops / wall_2 if wall_2 else 0.0,
+        "wall_1w_s": wall_1,
+        "wall_2w_s": wall_2,
+        "wall_4w_s": wall_4,
+        "speedup_2w": wall_1 / wall_2 if wall_2 else 0.0,
+        "speedup_4w": wall_1 / wall_4 if wall_4 else 0.0,
+        "cpu_count": float(len(os.sched_getaffinity(0))),
+    }
 
 
 # ---------------------------------------------------------------------------

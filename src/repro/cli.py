@@ -184,6 +184,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for the figure's runs (default: $REPRO_JOBS or 1)",
     )
     figure.add_argument(
+        "--workers",
+        metavar="SPEC[,SPEC...]",
+        default=None,
+        help=(
+            "distributed sweep over host agents: comma-separated "
+            "local:K (spawned on this box) and/or tcp:host:port[:K] "
+            "(remote `python -m repro.experiments.hostagent --listen "
+            "PORT`); e.g. --workers local:2,local:2 simulates two "
+            "2-worker hosts for CI.  Overrides --jobs."
+        ),
+    )
+    figure.add_argument(
         "--no-cache",
         action="store_true",
         help="skip the on-disk result cache (see $REPRO_CACHE_DIR)",
@@ -329,6 +341,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "the checkpoint)",
     )
     add_sim_args(crun)
+
+    cdump = chaos_sub.add_parser(
+        "dump",
+        help="protocol-history diff tool: run a faulted+audited "
+        "simulation on the traced event path and dump the full message "
+        "history (mapping updates, invalidations, acks with sequence "
+        "numbers) of the first audit-violating VPN",
+    )
+    cdump.add_argument(
+        "app", help=f"one of {APP_ORDER} or a DNN model"
+    )
+    cdump.add_argument(
+        "--vpn", type=lambda s: int(s, 0), default=None, metavar="N",
+        help="dump this page instead of the first violating one "
+        "(hex like 0x2a or decimal; also works on clean runs)",
+    )
+    cdump.add_argument(
+        "--faults", metavar="SPEC", default="heavy",
+        help="fault profile to provoke the violation (default: heavy; "
+        "same SPEC syntax as `repro run --faults`)",
+    )
+    cdump.add_argument(
+        "--audit", type=int, default=20_000, metavar="CYCLES",
+        help="periodic invariant-audit interval (default 20000)",
+    )
+    cdump.add_argument(
+        "--scheme",
+        choices=[s.value for s in InvalidationScheme],
+        default=InvalidationScheme.IDYLL.value,
+    )
+    cdump.add_argument(
+        "--per-vpn", type=int, default=2048, metavar="N",
+        help="history records kept per page (oldest dropped)",
+    )
+    add_sim_args(cdump)
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -528,12 +575,35 @@ def _cmd_figure(args) -> int:
             file=sys.stderr,
         )
         return 2
-    runner = ParallelRunner(
-        lanes=args.lanes,
-        accesses_per_lane=args.accesses,
-        jobs=args.jobs,
-        cache=cache,
-    )
+    if args.workers:
+        from .experiments.fabric import FabricRunner, parse_workers
+
+        if cache is None:
+            print(
+                "error: --workers needs the result cache — it is the "
+                "shared store hosts push results to (drop --no-cache "
+                "and unset REPRO_CACHE=0)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            specs = parse_workers(args.workers)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        runner = FabricRunner(
+            specs,
+            lanes=args.lanes,
+            accesses_per_lane=args.accesses,
+            cache=cache,
+        )
+    else:
+        runner = ParallelRunner(
+            lanes=args.lanes,
+            accesses_per_lane=args.accesses,
+            jobs=args.jobs,
+            cache=cache,
+        )
     try:
         series = runner.run_figure(FIGURES[args.name], resume=args.resume_sweep)
     except SweepInterrupted as exc:
@@ -707,9 +777,67 @@ def _cmd_chaos_run(args) -> int:
     return _report_abort(result, system)
 
 
+def _cmd_chaos_dump(args) -> int:
+    from .faults.history import ProtocolHistory, first_violating_vpn, format_history
+    from .faults.profiles import parse_fault_spec
+
+    config = baseline_config(args.gpus).with_scheme(
+        InvalidationScheme(args.scheme)
+    )
+    if args.faults:
+        from .config import ConfigError
+
+        try:
+            config = config.with_faults(parse_fault_spec(args.faults))
+        except ConfigError as exc:
+            print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+            return 2
+    config = config.with_faults(
+        audit_interval=args.audit, audit_on_quiesce=True
+    )
+    # The traced event path is mandatory here: message-level
+    # interleavings (the thing being dumped) do not exist on the
+    # replay fast path.  Attaching a live tracer forces it.
+    history = ProtocolHistory(per_vpn=args.per_vpn)
+    runner = _runner_for(args)
+    workload = runner.workload(args.app, num_gpus=args.gpus)
+    system = MultiGPUSystem(config, seed=runner.seed, tracer=history)
+    result = system.run(workload)
+
+    vpn = args.vpn
+    if vpn is None:
+        vpn = first_violating_vpn(getattr(system, "last_violations", []))
+    if result.aborted:
+        print(f"ABORTED: {result.abort_reason}", file=sys.stderr)
+        if vpn is None:
+            # Watchdog/deadlock aborts name no page; fall back to the
+            # protocol-state dump so the run is still diagnosable.
+            print(
+                "no violating VPN identified (non-auditor abort?); "
+                "pass --vpn N to dump a specific page",
+                file=sys.stderr,
+            )
+            if system.abort_dump:
+                print(system.abort_dump, file=sys.stderr)
+            return 3
+        print(format_history(history, vpn))
+        return 3
+    if vpn is not None:
+        print(format_history(history, vpn))
+    else:
+        print(
+            f"run completed cleanly after {system.audits_run} audit(s); "
+            f"no violating VPN to dump (pass --vpn N to inspect a page, "
+            f"or raise fault rates via --faults)"
+        )
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     if args.chaos_command == "gen":
         return _cmd_chaos_gen(args)
+    if args.chaos_command == "dump":
+        return _cmd_chaos_dump(args)
     return _cmd_chaos_run(args)
 
 

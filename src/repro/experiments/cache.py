@@ -27,6 +27,18 @@ legacy entries fail the magic check and are likewise recomputed.
 
 The root directory defaults to ``~/.cache/repro`` (respecting
 ``XDG_CACHE_HOME``) and is overridden by ``REPRO_CACHE_DIR``.
+
+A cache can additionally be backed by a *shared remote* directory
+(``remote=`` / ``REPRO_CACHE_REMOTE``) — a network filesystem mount, an
+rsync target, or any directory several hosts can reach.  The remote
+holds the same ``<key[:2]>/<key>.pkl`` layout.  On a local miss,
+:meth:`ResultCache.get` pulls the remote entry, revalidates the full
+RPC1 frame (the network hop is exactly where torn or truncated bytes
+appear), installs it locally via the same atomic tmp+rename dance, and
+serves it; :meth:`ResultCache.put` pushes every new entry to the remote
+so any worker on any host can serve any hit.  Remote I/O failures are
+never fatal: a broken remote degrades the cache to local-only with a
+warning.
 """
 
 from __future__ import annotations
@@ -51,6 +63,7 @@ __all__ = [
     "cache_key",
     "code_version",
     "default_cache_dir",
+    "default_remote_dir",
 ]
 
 #: cache-entry frame: magic + u64 payload length, then a sha256 digest
@@ -72,6 +85,12 @@ def default_cache_dir() -> Path:
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = Path(xdg) if xdg else Path.home() / ".cache"
     return base / "repro"
+
+
+def default_remote_dir() -> Optional[Path]:
+    """``$REPRO_CACHE_REMOTE`` as a path, or None (no shared backend)."""
+    env = os.environ.get("REPRO_CACHE_REMOTE")
+    return Path(env) if env else None
 
 
 def code_version() -> str:
@@ -138,15 +157,39 @@ def cache_key(
 
 
 class ResultCache:
-    """On-disk store of pickled :class:`SimulationResult` objects."""
+    """On-disk store of pickled :class:`SimulationResult` objects.
 
-    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+    ``remote`` names a shared directory (same layout) used as a second
+    tier: local miss → validated pull from remote; local put → push to
+    remote.  Defaults to ``REPRO_CACHE_REMOTE`` when unset; pass
+    ``remote=False`` to force local-only regardless of environment.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        *,
+        remote: Any = None,
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        if remote is False:
+            self.remote: Optional[Path] = None
+        elif remote is None:
+            self.remote = default_remote_dir()
+        else:
+            self.remote = Path(remote)
         self.hits = 0
         self.misses = 0
+        self.remote_hits = 0
+        self.remote_pushes = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.pkl"
+
+    def _remote_path(self, key: str) -> Optional[Path]:
+        if self.remote is None:
+            return None
+        return self.remote / key[:2] / f"{key}.pkl"
 
     def _validate(self, blob: bytes) -> bytes:
         """Return the verified pickle payload or raise ``ValueError``."""
@@ -174,8 +217,10 @@ class ResultCache:
         try:
             blob = path.read_bytes()
         except OSError:
-            self.misses += 1
-            return None
+            blob = self._fetch_remote(key)
+            if blob is None:
+                self.misses += 1
+                return None
         try:
             payload = self._validate(blob)
             result = pickle.loads(payload)
@@ -192,28 +237,79 @@ class ResultCache:
         self.hits += 1
         return result
 
+    def _fetch_remote(self, key: str) -> Optional[bytes]:
+        """Pull ``key`` from the shared backend, validate the RPC1
+        frame, and install it locally (atomic rename) before returning
+        the raw blob.  Any remote or validation failure is a miss — a
+        corrupt shared entry must never poison local state, so the
+        local install only happens after the frame checks out."""
+        rpath = self._remote_path(key)
+        if rpath is None:
+            return None
+        try:
+            blob = rpath.read_bytes()
+        except OSError:
+            return None
+        try:
+            self._validate(blob)
+        except ValueError as exc:
+            warnings.warn(
+                f"ignoring corrupt shared-cache entry {rpath}: {exc}; "
+                f"the run will be recomputed",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        self._write_atomic(self._path(key), blob)
+        self.remote_hits += 1
+        return blob
+
     def put(self, key: str, result: SimulationResult) -> None:
         """Store ``result`` atomically; concurrent writers of the same
-        key are benign (last rename wins, both files are identical)."""
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        key are benign (last rename wins, both files are identical).
+        With a shared backend configured, the framed blob is also
+        pushed remotely so peers on other hosts hit without computing;
+        a failed push degrades to local-only with a warning."""
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         header = _ENTRY_HEADER.pack(ENTRY_MAGIC, len(payload))
         digest = hashlib.sha256(payload).digest()
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        blob = header + digest + payload
+        self._write_atomic(self._path(key), blob)
+        rpath = self._remote_path(key)
+        if rpath is not None:
+            if self._write_atomic(rpath, blob):
+                self.remote_pushes += 1
+            else:
+                warnings.warn(
+                    f"failed to push cache entry to shared backend {self.remote}; "
+                    f"continuing local-only",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    @staticmethod
+    def _write_atomic(path: Path, blob: bytes) -> bool:
+        """tmp + fsync + rename in ``path``'s own directory, so readers
+        racing a writer (local peers or remote pullers) can only ever
+        observe a complete frame."""
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        except OSError:
+            return False
         try:
             with os.fdopen(fd, "wb") as fh:
-                fh.write(header)
-                fh.write(digest)
-                fh.write(payload)
+                fh.write(blob)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
+            return True
         except OSError:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return False
 
     def __len__(self) -> int:
         if not self.root.is_dir():

@@ -44,11 +44,26 @@ same :func:`repro.experiments.runner.simulate` entry point with the
 same explicit parameters, and the simulator is deterministic in those
 parameters.  Worker count comes from ``jobs=``, else ``REPRO_JOBS``,
 else 1 (serial).
+
+The supervisor doubles as the per-host engine of the distributed sweep
+fabric (:mod:`repro.experiments.fabric`): besides the one-shot
+:meth:`SweepSupervisor.run`, it exposes an incremental API —
+:meth:`~SweepSupervisor.start` / :meth:`~SweepSupervisor.submit` /
+:meth:`~SweepSupervisor.step` / :meth:`~SweepSupervisor.shutdown` —
+plus :meth:`~SweepSupervisor.revoke` (give back not-yet-started tasks
+to a work-stealing peer) and :meth:`~SweepSupervisor.preempt` (kill a
+running task and hand back its latest RCKP checkpoint so the
+coordinator can resume it byte-equal on another host).  Tasks may
+carry checkpoint policy (``checkpoint_every`` / ``checkpoint_dir`` /
+``resume_from``), which flows through to
+:func:`repro.experiments.runner.simulate` untouched — checkpoint knobs
+are deliberately not cache-key inputs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_mod
 import signal
 import sys
@@ -60,7 +75,7 @@ from ..config import SystemConfig
 from ..metrics.collector import SimulationResult
 from . import runner as _runner_mod
 from .cache import ResultCache
-from .journal import SweepJournal, journal_path
+from .journal import SweepJournal, journal_path, merged_terminal_keys
 from .runner import ExperimentRunner, _env_int
 
 __all__ = ["ParallelRunner", "SweepInterrupted", "SweepSupervisor"]
@@ -75,9 +90,16 @@ class SweepInterrupted(RuntimeError):
     the sweep (``repro figure --resume-sweep``) continues from there."""
 
 
-def _simulate_job(job: Tuple[str, SystemConfig, float, int, int, int]) -> SimulationResult:
-    """Worker task body: module-level so ``spawn`` can pickle it."""
-    app, config, scale, lanes, accesses_per_lane, seed = job
+def _simulate_job(job: Tuple) -> SimulationResult:
+    """Worker task body: module-level so ``spawn`` can pickle it.
+
+    ``job`` is ``(app, config, scale, lanes, accesses_per_lane, seed)``
+    optionally followed by ``(checkpoint_every, checkpoint_dir,
+    resume_from)`` for migratable fabric tasks."""
+    app, config, scale, lanes, accesses_per_lane, seed = job[:6]
+    ckpt_every, ckpt_dir, resume_from = (
+        job[6:9] if len(job) > 6 else (None, None, None)
+    )
     return _runner_mod.simulate(
         app,
         config,
@@ -85,7 +107,23 @@ def _simulate_job(job: Tuple[str, SystemConfig, float, int, int, int]) -> Simula
         lanes=lanes,
         accesses_per_lane=accesses_per_lane,
         seed=seed,
+        checkpoint_every=ckpt_every,
+        checkpoint_dir=ckpt_dir,
+        resume_from=resume_from,
     )
+
+
+def _parent_watchdog() -> None:
+    """Hard-exit when our supervisor dies: a host agent SIGKILLed by a
+    chaos drill (or a real crash) must not leak grandchildren that keep
+    burning CPU on a sweep nobody will collect.  Polling ``getppid``
+    beats prctl(PR_SET_PDEATHSIG) here because it is portable and
+    survives the spawn-context double fork."""
+    parent = os.getppid()
+    while True:
+        time.sleep(1.0)
+        if os.getppid() != parent:
+            os._exit(1)
 
 
 def _worker_main(worker_id: int, task_queue, result_queue,
@@ -100,6 +138,7 @@ def _worker_main(worker_id: int, task_queue, result_queue,
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
+    threading.Thread(target=_parent_watchdog, daemon=True).start()
     while True:
         task = task_queue.get()
         if task is None:
@@ -167,9 +206,20 @@ class _Task:
     """Supervisor-side state for one grid entry."""
 
     __slots__ = ("key", "app", "config", "scale", "status", "attempts",
-                 "not_before", "result")
+                 "not_before", "result", "ckpt_every", "ckpt_dir",
+                 "resume_from")
 
-    def __init__(self, key: str, app: str, config: SystemConfig, scale: float) -> None:
+    def __init__(
+        self,
+        key: str,
+        app: str,
+        config: SystemConfig,
+        scale: float,
+        *,
+        ckpt_every: Optional[int] = None,
+        ckpt_dir: Optional[str] = None,
+        resume_from: Optional[str] = None,
+    ) -> None:
         self.key = key
         self.app = app
         self.config = config
@@ -178,6 +228,9 @@ class _Task:
         self.attempts = 0
         self.not_before = 0.0
         self.result: Optional[SimulationResult] = None
+        self.ckpt_every = ckpt_every
+        self.ckpt_dir = ckpt_dir
+        self.resume_from = resume_from
 
 
 class _Worker:
@@ -253,6 +306,9 @@ class SweepSupervisor:
         self._result_queue = None
         self._stop = False
         self._stop_at = 0.0
+        #: incremental-mode task table and event outbox (fabric agents).
+        self._state: Dict[str, _Task] = {}
+        self._events: List[tuple] = []
 
     # -- public --------------------------------------------------------------
 
@@ -270,12 +326,10 @@ class SweepSupervisor:
         Raises :class:`SweepInterrupted` if a signal stopped the sweep
         before all tasks reached a terminal state.
         """
-        state: Dict[str, _Task] = {}
+        self.start()
+        state = self._state
         for key, app, config, scale in tasks:
-            if key not in state:
-                state[key] = _Task(key, app, config, scale)
-        self._ctx = multiprocessing.get_context("spawn")
-        self._result_queue = self._ctx.Queue()
+            self.submit(key, app, config, scale)
         restore = self._install_signal_handlers()
         try:
             for _ in range(min(self.jobs, len(state))):
@@ -291,18 +345,10 @@ class SweepSupervisor:
                     drained = time.monotonic() > self._stop_at + self.drain_timeout
                     if not running or drained:
                         break
-                else:
-                    self._dispatch(state)
-                self._pump(state)
-                self._check_liveness(state)
+                self.step(respawn=not self._stop)
         finally:
-            self._terminate_workers()
             self._restore_signal_handlers(restore)
-            try:
-                self._result_queue.close()
-                self._result_queue.cancel_join_thread()
-            except Exception:
-                pass
+            self.shutdown()
         remaining = sum(
             1 for t in state.values() if t.status in ("pending", "running")
         )
@@ -314,6 +360,126 @@ class SweepSupervisor:
                 f"re-run with --resume-sweep to continue"
             )
         return {key: task.result for key, task in state.items()}
+
+    # -- incremental API (fabric host agents) --------------------------------
+
+    def start(self) -> None:
+        """Bring up the spawn context and result queue; tasks arrive via
+        :meth:`submit` and progress happens in :meth:`step` calls.  Does
+        not install signal handlers — an embedding agent owns those."""
+        self._ctx = multiprocessing.get_context("spawn")
+        self._result_queue = self._ctx.Queue()
+        self._state = {}
+        self._events = []
+
+    def submit(
+        self,
+        key: str,
+        app: str,
+        config: SystemConfig,
+        scale: float,
+        *,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume_from: Optional[str] = None,
+    ) -> None:
+        """Queue one task (idempotent per ``key``).  Checkpoint knobs
+        make the run migratable: the coordinator can later
+        :meth:`preempt` it and resubmit elsewhere with ``resume_from``."""
+        if key not in self._state:
+            self._state[key] = _Task(
+                key, app, config, scale,
+                ckpt_every=checkpoint_every,
+                ckpt_dir=checkpoint_dir,
+                resume_from=resume_from,
+            )
+
+    def step(self, *, respawn: bool = True) -> List[tuple]:
+        """One supervision tick: dispatch pending tasks, pump worker
+        messages (blocking at most ``TICK``), police liveness, and
+        return the events that happened —
+        ``("start", key)`` / ``("done", key, result, attempts)`` /
+        ``("failed", key, reason, attempts)`` /
+        ``("quarantined", key, result, reason)``."""
+        state = self._state
+        if not self._stop:
+            self._dispatch(state)
+        self._pump(state)
+        self._check_liveness(state, respawn=respawn and not self._stop)
+        events, self._events = self._events, []
+        return events
+
+    def open_count(self) -> int:
+        """Tasks not yet terminal (pending or running)."""
+        return sum(
+            1 for t in self._state.values()
+            if t.status in ("pending", "running")
+        )
+
+    def running_count(self) -> int:
+        """Tasks currently on a worker (what a graceful drain waits for)."""
+        return sum(1 for t in self._state.values() if t.status == "running")
+
+    def unstarted(self) -> List[str]:
+        """Keys that are queued but not running — the steal candidates."""
+        return [t.key for t in self._state.values() if t.status == "pending"]
+
+    def revoke(self, keys: Sequence[str]) -> List[str]:
+        """Give back not-yet-started tasks (work-stealing).  A key that
+        raced into ``running`` (or finished) since the steal decision is
+        simply not revoked; the caller treats the returned list as the
+        authoritative set it may hand to another host."""
+        revoked = []
+        for key in keys:
+            task = self._state.get(key)
+            if task is not None and task.status == "pending":
+                del self._state[key]
+                revoked.append(key)
+        return revoked
+
+    def preempt(self, key: str) -> Optional[str]:
+        """Kill a *running* task for migration and drop it from the
+        table; returns the path of its newest complete RCKP checkpoint
+        (or None if it never reached one).  The worker is killed — not
+        asked — so the checkpoint on disk is the only state that
+        survives, which is exactly the byte-equal-resume contract the
+        snapshot subsystem already guarantees."""
+        task = self._state.get(key)
+        if task is None or task.status != "running":
+            return None
+        for wid, worker in list(self._workers.items()):
+            if worker.task_key == key:
+                try:
+                    worker.proc.kill()
+                except Exception:  # pragma: no cover
+                    pass
+                worker.proc.join(self.terminate_grace)
+                self._retire_worker(wid)
+                break
+        del self._state[key]
+        if task.ckpt_dir is None:
+            return None
+        try:
+            ckpts = sorted(
+                p for p in os.listdir(task.ckpt_dir)
+                if p.startswith("ckpt-") and p.endswith(".ckpt")
+            )
+        except OSError:
+            return None
+        if not ckpts:
+            return None
+        return os.path.join(task.ckpt_dir, ckpts[-1])
+
+    def shutdown(self) -> None:
+        """Terminate the fleet and tear down queues (idempotent)."""
+        self._terminate_workers()
+        if self._result_queue is not None:
+            try:
+                self._result_queue.close()
+                self._result_queue.cancel_join_thread()
+            except Exception:
+                pass
+            self._result_queue = None
 
     # -- signals -------------------------------------------------------------
 
@@ -408,6 +574,7 @@ class SweepSupervisor:
 
     def _dispatch(self, state: Dict[str, _Task]) -> None:
         now = time.monotonic()
+        dispatched = False
         for worker in self._workers.values():
             if worker.task_key is not None or not worker.proc.is_alive():
                 continue
@@ -419,7 +586,7 @@ class SweepSupervisor:
                 None,
             )
             if task is None:
-                return
+                break
             task.status = "running"
             worker.task_key = task.key
             worker.assigned_at = now
@@ -427,7 +594,14 @@ class SweepSupervisor:
             worker.queue.put((
                 task.key, task.app, task.config, task.scale,
                 self.lanes, self.accesses_per_lane, self.seed,
+                task.ckpt_every, task.ckpt_dir, task.resume_from,
             ))
+            self._events.append(("start", task.key))
+            dispatched = True
+        if dispatched and self.journal is not None:
+            # Dispatch boundary: under REPRO_JOURNAL_FSYNC=batch this is
+            # where the journal's loss window closes.
+            self.journal.sync()
 
     def _pump(self, state: Dict[str, _Task]) -> None:
         try:
@@ -462,7 +636,7 @@ class SweepSupervisor:
         if worker is not None and worker.task_key == key:
             worker.task_key = None
 
-    def _check_liveness(self, state: Dict[str, _Task]) -> None:
+    def _check_liveness(self, state: Dict[str, _Task], *, respawn: bool = True) -> None:
         now = time.monotonic()
         for wid in list(self._workers):
             worker = self._workers[wid]
@@ -495,7 +669,7 @@ class SweepSupervisor:
                 self._retire_worker(wid)
                 if key in state:
                     self._fail(state[key], f"worker hung: {reason}")
-        if not self._stop:
+        if respawn and not self._stop:
             open_tasks = sum(
                 1 for t in state.values() if t.status in ("pending", "running")
             )
@@ -514,6 +688,7 @@ class SweepSupervisor:
             self.journal.record(
                 "done", task.key, app=task.app, attempt=task.attempts + 1
             )
+        self._events.append(("done", task.key, result, task.attempts + 1))
 
     def _fail(self, task: _Task, reason: str) -> None:
         if task.status == "done":
@@ -526,6 +701,7 @@ class SweepSupervisor:
                 "failed", task.key, app=task.app, attempt=task.attempts,
                 reason=reason,
             )
+        self._events.append(("failed", task.key, reason, task.attempts))
         if task.attempts >= self.max_attempts:
             task.status = "quarantined"
             task.result = _quarantine_result(task.app, task.config, reason)
@@ -535,6 +711,7 @@ class SweepSupervisor:
                     "quarantined", task.key, app=task.app,
                     attempt=task.attempts, reason=reason,
                 )
+            self._events.append(("quarantined", task.key, task.result, reason))
             print(
                 f"[repro] sweep: quarantined {task.app} after "
                 f"{task.attempts} attempts: {reason}",
@@ -623,7 +800,12 @@ class ParallelRunner(ExperimentRunner):
             self._journal_for(sweep_name) if (self.jobs > 1 or resume) else None
         )
         try:
-            terminal = journal.terminal_keys() if (resume and journal) else {}
+            # Resume folds the whole journal family — the coordinator's
+            # plus any per-host siblings a distributed sweep left behind
+            # — so losing hosts never loses the record of finished work.
+            terminal = (
+                merged_terminal_keys(journal.path) if (resume and journal) else {}
+            )
             todo: List[Tuple[str, str, SystemConfig, float]] = []
             seen = set()
             for app, config, scale in requests:
@@ -647,33 +829,7 @@ class ParallelRunner(ExperimentRunner):
                 todo.append((disk_key, app, config, scale))
 
             if todo:
-                if self.jobs == 1 or len(todo) == 1:
-                    for disk_key, app, config, scale in todo:
-                        result = _simulate_job(
-                            (app, config, scale,
-                             self.lanes, self.accesses_per_lane, self.seed)
-                        )
-                        self._store(disk_key, app, config, scale, result, journal)
-                else:
-                    supervisor = SweepSupervisor(
-                        jobs=self.jobs,
-                        lanes=self.lanes,
-                        accesses_per_lane=self.accesses_per_lane,
-                        seed=self.seed,
-                        cache=self.cache,
-                        journal=journal,
-                        **self.supervisor_opts,
-                    )
-                    self._supervisor = supervisor
-                    try:
-                        fresh = supervisor.run(todo)
-                    finally:
-                        self._supervisor = None
-                    for disk_key, app, config, scale in todo:
-                        # Cache/journal already filled by the supervisor.
-                        key = ("run", app, scale, self.lanes, self.seed,
-                               self._lane_budget(config.num_gpus), config)
-                        self._results[key] = fresh[disk_key]
+                self._execute(todo, journal)
         finally:
             if journal is not None:
                 journal.close()
@@ -682,10 +838,49 @@ class ParallelRunner(ExperimentRunner):
         return [super(ParallelRunner, self).run(app, config, scale)
                 for app, config, scale in requests]
 
-    def _store(self, disk_key, app, config, scale, result, journal) -> None:
+    def _execute(
+        self,
+        todo: List[Tuple[str, str, SystemConfig, float]],
+        journal: Optional[SweepJournal],
+    ) -> None:
+        """Run the deduplicated cache-miss tasks and memoise the
+        results.  Subclasses override this to change *where* tasks run
+        (the fabric runner ships them to host agents); everything around
+        it — dedup, cache precheck, resume skip, figure orchestration —
+        is shared."""
+        if self.jobs == 1 or len(todo) == 1:
+            for disk_key, app, config, scale in todo:
+                result = _simulate_job(
+                    (app, config, scale,
+                     self.lanes, self.accesses_per_lane, self.seed)
+                )
+                self._store(disk_key, app, config, scale, result, journal)
+        else:
+            supervisor = SweepSupervisor(
+                jobs=self.jobs,
+                lanes=self.lanes,
+                accesses_per_lane=self.accesses_per_lane,
+                seed=self.seed,
+                cache=self.cache,
+                journal=journal,
+                **self.supervisor_opts,
+            )
+            self._supervisor = supervisor
+            try:
+                fresh = supervisor.run(todo)
+            finally:
+                self._supervisor = None
+            for disk_key, app, config, scale in todo:
+                # Cache/journal already filled by the supervisor.
+                self._memoize(app, config, scale, fresh[disk_key])
+
+    def _memoize(self, app, config, scale, result) -> None:
         key = ("run", app, scale, self.lanes, self.seed,
                self._lane_budget(config.num_gpus), config)
         self._results[key] = result
+
+    def _store(self, disk_key, app, config, scale, result, journal) -> None:
+        self._memoize(app, config, scale, result)
         if self.cache is not None:
             self.cache.put(disk_key, result)
         if journal is not None:

@@ -1,0 +1,240 @@
+"""Line-framed message transport for the distributed sweep fabric.
+
+The coordinator (:mod:`repro.experiments.fabric`) and each host agent
+(:mod:`repro.experiments.hostagent`) exchange *frames*: one JSON object
+per ``\\n``-terminated line.  Newline framing is deliberately boring —
+it is trivially debuggable (``cat`` the stream), resists partial-write
+tearing (an incomplete line never parses, mirroring the journal's
+torn-line tolerance), and needs no length-prefix state machine.
+
+Binary payloads (pickled :class:`SystemConfig` /
+:class:`SimulationResult` objects) ride inside the JSON as base64
+fields via :func:`pack` / :func:`unpack`.  Results additionally keep
+their RPC1 content-addressed framing end to end: a result fetched from
+the shared cache is revalidated on arrival, so a torn network copy is
+indistinguishable from a torn disk copy and handled the same way.
+
+Two concrete channels:
+
+* :class:`PipeChannel` — stdio to a locally spawned agent subprocess
+  (``local:K`` worker specs; also how CI simulates multi-host on one
+  box).
+* :class:`SocketChannel` — a TCP connection to a remote
+  ``python -m repro.experiments.hostagent --listen PORT``
+  (``tcp:host:port`` worker specs).
+
+Both expose the same surface: non-blocking :meth:`recv` of parsed
+frames via a reader thread, :meth:`send` of dict frames, ``eof`` when
+the peer hung up.  Reader threads are daemonic: a wedged peer can never
+block coordinator shutdown.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import queue as queue_mod
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Channel",
+    "PipeChannel",
+    "SocketChannel",
+    "pack",
+    "unpack",
+    "spawn_local_agent",
+]
+
+
+def pack(obj: Any) -> str:
+    """Pickle + base64 an arbitrary object for embedding in a frame."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack(blob: str) -> Any:
+    """Inverse of :func:`pack`."""
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+class Channel:
+    """One framed, threaded message stream to a fabric peer.
+
+    Subclasses provide ``_write_line`` and the readable file object the
+    reader thread drains.  Frames that fail to parse (torn lines from a
+    dying peer) are dropped silently — peer death is detected by EOF
+    and heartbeat timeout, not by parse errors.
+    """
+
+    def __init__(self) -> None:
+        self._inbox: "queue_mod.Queue[dict]" = queue_mod.Queue()
+        self._eof = threading.Event()
+        self._send_lock = threading.Lock()
+        self._reader: Optional[threading.Thread] = None
+
+    # -- wiring --------------------------------------------------------------
+
+    def _start_reader(self, fh) -> None:
+        def drain() -> None:
+            try:
+                for line in fh:
+                    if isinstance(line, bytes):
+                        line = line.decode("utf-8", "replace")
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        frame = json.loads(line)
+                    except ValueError:
+                        continue
+                    if isinstance(frame, dict):
+                        self._inbox.put(frame)
+            except Exception:
+                pass
+            finally:
+                self._eof.set()
+
+        self._reader = threading.Thread(target=drain, daemon=True)
+        self._reader.start()
+
+    def _write_line(self, line: str) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- surface -------------------------------------------------------------
+
+    @property
+    def eof(self) -> bool:
+        """True once the peer's stream closed (process exit, socket
+        reset).  Frames already received remain readable."""
+        return self._eof.is_set()
+
+    def send(self, frame: Dict[str, Any]) -> bool:
+        """Write one frame; returns False (instead of raising) when the
+        peer is gone — the coordinator treats that like any host death."""
+        line = json.dumps(frame, separators=(",", ":"))
+        with self._send_lock:
+            try:
+                self._write_line(line)
+                return True
+            except (OSError, ValueError):
+                self._eof.set()
+                return False
+
+    def recv(self, timeout: float = 0.0) -> Optional[dict]:
+        """Next parsed frame, or None after ``timeout`` (0 = poll)."""
+        try:
+            if timeout > 0:
+                return self._inbox.get(timeout=timeout)
+            return self._inbox.get_nowait()
+        except queue_mod.Empty:
+            return None
+
+    def recv_all(self) -> List[dict]:
+        """Drain every frame currently buffered."""
+        frames = []
+        while True:
+            frame = self.recv()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def close(self) -> None:  # pragma: no cover - trivial
+        self._eof.set()
+
+
+class PipeChannel(Channel):
+    """Channel over a spawned agent subprocess's stdin/stdout."""
+
+    def __init__(self, proc: subprocess.Popen) -> None:
+        super().__init__()
+        self.proc = proc
+        self._start_reader(proc.stdout)
+
+    def _write_line(self, line: str) -> None:
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def close(self) -> None:
+        super().close()
+        for fh in (self.proc.stdin, self.proc.stdout):
+            try:
+                fh.close()
+            except Exception:
+                pass
+
+
+class SocketChannel(Channel):
+    """Channel over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        super().__init__()
+        self.sock = sock
+        self._rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+        self._start_reader(self._rfile)
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: float = 10.0) -> "SocketChannel":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        sock.settimeout(None)
+        return cls(sock)
+
+    def _write_line(self, line: str) -> None:
+        self.sock.sendall((line + "\n").encode("utf-8"))
+
+    def close(self) -> None:
+        super().close()
+        try:
+            self._rfile.close()
+        except Exception:
+            pass
+        try:
+            self.sock.close()
+        except Exception:
+            pass
+
+
+def spawn_local_agent(extra_env: Optional[Dict[str, str]] = None) -> PipeChannel:
+    """Launch ``python -m repro.experiments.hostagent`` as a subprocess
+    and return the stdio channel to it.
+
+    ``PYTHONPATH`` is forced to include this package's source root so
+    the agent resolves the *same* ``repro`` the coordinator runs —
+    anything else would fork the ``code_version()`` cache digest and
+    every task would miss."""
+    import os
+
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing else src_root + os.pathsep + existing
+    )
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.experiments.hostagent"],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        # stderr passes through: agent diagnostics interleave with the
+        # coordinator's own, prefixed by host id.
+        env=env,
+        text=True,
+        bufsize=1,
+    )
+    return PipeChannel(proc)

@@ -72,7 +72,17 @@ def _excuse(system, gpu_id: int, vpn: int, lazy_pending) -> Optional[str]:
 
 def audit_system(system) -> List[str]:
     """Run every invariant check; returns the violations found (empty
-    means the system is consistent)."""
+    means the system is consistent).
+
+    The result is also left on ``system.last_violations`` so post-abort
+    diagnostics (``repro chaos dump``) can anchor on the violating VPNs
+    without re-parsing the abort message."""
+    violations = _audit_checks(system)
+    system.last_violations = list(violations)
+    return violations
+
+
+def _audit_checks(system) -> List[str]:
     violations: List[str] = []
 
     def report(message: str) -> bool:

@@ -152,6 +152,63 @@ class TestResultCacheStore:
         assert cache.root == tmp_path / "elsewhere"
 
 
+class TestSharedRemote:
+    """Two-tier cache: local miss pulls from the shared directory, put
+    pushes to it, and a corrupt remote entry can never poison local
+    state — the fabric's cross-host result-sharing contract."""
+
+    def _result(self) -> SimulationResult:
+        return SimulationResult(
+            workload="PR", scheme="idyll", num_gpus=2,
+            exec_time=123, accesses=456, extras={},
+        )
+
+    def test_put_pushes_to_remote(self, tmp_path):
+        cache = ResultCache(tmp_path / "local", remote=tmp_path / "shared")
+        cache.put("ab" * 32, self._result())
+        assert cache.remote_pushes == 1
+        assert (tmp_path / "shared" / "ab" / (("ab" * 32) + ".pkl")).exists()
+
+    def test_local_miss_pulls_and_installs(self, tmp_path):
+        key = "cd" * 32
+        writer = ResultCache(tmp_path / "host-a", remote=tmp_path / "shared")
+        writer.put(key, self._result())
+        reader = ResultCache(tmp_path / "host-b", remote=tmp_path / "shared")
+        got = reader.get(key)
+        assert got is not None
+        assert asdict(got) == asdict(self._result())
+        assert reader.remote_hits == 1
+        # Installed locally: a second get never touches the remote.
+        assert reader.get(key) is not None
+        assert reader.remote_hits == 1
+
+    def test_corrupt_remote_entry_is_a_miss(self, tmp_path):
+        key = "ef" * 32
+        shared = tmp_path / "shared" / key[:2]
+        shared.mkdir(parents=True)
+        (shared / f"{key}.pkl").write_bytes(b"RPC1 but torn")
+        reader = ResultCache(tmp_path / "local", remote=tmp_path / "shared")
+        with pytest.warns(RuntimeWarning, match="shared-cache"):
+            assert reader.get(key) is None
+        # The damaged blob was never installed locally.
+        assert not (tmp_path / "local" / key[:2] / f"{key}.pkl").exists()
+        assert reader.misses == 1
+
+    def test_remote_false_forces_local_only(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_REMOTE", str(tmp_path / "shared"))
+        assert ResultCache(tmp_path / "a").remote == tmp_path / "shared"
+        assert ResultCache(tmp_path / "a", remote=False).remote is None
+
+    def test_unreachable_remote_degrades_with_warning(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file where the remote dir should be")
+        cache = ResultCache(tmp_path / "local", remote=blocker)
+        with pytest.warns(RuntimeWarning, match="shared backend"):
+            cache.put("12" * 32, self._result())
+        # The local tier still works.
+        assert cache.get("12" * 32) is not None
+
+
 class TestPicklability:
     """The cache and the spawn-based pool both require these round-trips."""
 

@@ -1,0 +1,144 @@
+"""Per-VPN protocol history: the `repro chaos dump` backend.
+
+:class:`~repro.faults.history.ProtocolHistory` must index existing
+protocol emission sites by page without changing what the base recorder
+stores (golden traces are byte-compared), pick the right page out of an
+auditor violation list, and render a readable table.
+"""
+
+from repro.config import InvalidationScheme, baseline_config
+from repro.faults.auditor import audit_system
+from repro.faults.history import (
+    PROTOCOL_PREFIXES,
+    ProtocolHistory,
+    first_violating_vpn,
+    format_history,
+)
+from repro.experiments.runner import build_app_workload
+from repro.gpu.system import MultiGPUSystem
+
+
+def _workload(app, config, *, lanes, accesses_per_lane, seed):
+    return build_app_workload(
+        app,
+        num_gpus=config.num_gpus,
+        page_size=config.page_size,
+        scale=1.0,
+        lanes=lanes,
+        accesses_per_lane=accesses_per_lane,
+        seed=seed,
+    )
+
+
+class TestIndexing:
+    def test_protocol_events_indexed_by_vpn(self):
+        history = ProtocolHistory()
+        history.emit("inval.send", "gpu0.dir", 0x10, iseq=1)
+        history.emit("mig.start", "gmmu", 0x10, dst=1)
+        history.emit("inval.send", "gpu0.dir", 0x20, iseq=2)
+        assert history.vpns() == [0x10, 0x20]
+        events = [rec.event for rec in history.history(0x10)]
+        assert events == ["inval.send", "mig.start"]
+
+    def test_non_protocol_events_not_indexed(self):
+        history = ProtocolHistory()
+        history.emit("tlb.hit", "gpu0.l1tlb", 0x10)
+        history.emit("walk.done", "gpu0.walker", 0x10)
+        assert history.vpns() == []
+        # ...but they still land in the base ring buffer untouched.
+        assert [rec.event for rec in history.records()] == [
+            "tlb.hit", "walk.done",
+        ]
+
+    def test_vpnless_protocol_events_not_indexed(self):
+        history = ProtocolHistory()
+        history.emit("inval.degrade", "gpu0.dir", None, reason="storm")
+        assert history.vpns() == []
+
+    def test_per_vpn_bound_drops_oldest(self):
+        history = ProtocolHistory(per_vpn=4)
+        for iseq in range(10):
+            history.emit("inval.send", "gpu0.dir", 0x10, iseq=iseq)
+        kept = [dict(rec.fields)["iseq"] for rec in history.history(0x10)]
+        assert kept == [6, 7, 8, 9]
+
+    def test_clear_resets_index(self):
+        history = ProtocolHistory()
+        history.emit("inval.send", "gpu0.dir", 0x10, iseq=1)
+        history.clear()
+        assert history.vpns() == []
+        assert history.history(0x10) == []
+
+    def test_matches_base_recorder_stream(self):
+        """Same (config, seed) traced with the plain recorder and with
+        ProtocolHistory must yield identical record streams — the
+        index is an overlay, never a behaviour change."""
+        from repro.sim.trace import TraceRecorder
+
+        config = baseline_config(2).with_scheme(InvalidationScheme.IDYLL)
+        workload = _workload("PR", config, lanes=2, accesses_per_lane=80, seed=3)
+        base = TraceRecorder()
+        system = MultiGPUSystem(config, seed=3, tracer=base)
+        system.run(workload)
+        overlay = ProtocolHistory()
+        system2 = MultiGPUSystem(config, seed=3, tracer=overlay)
+        system2.run(workload)
+        want = [rec.to_line() for rec in base.records()]
+        have = [rec.to_line() for rec in overlay.records()]
+        assert have == want
+        assert overlay.vpns(), "a real run emitted no protocol events"
+        for vpn in overlay.vpns():
+            for rec in overlay.history(vpn):
+                assert rec.event.startswith(PROTOCOL_PREFIXES)
+                assert rec.vpn == vpn
+
+
+class TestFirstViolatingVpn:
+    def test_picks_first_vpn_of_first_violation(self):
+        violations = [
+            "gpu1 TLB holds stale mapping for vpn=0xa80006 (expected vpn=0x1)",
+            "directory leak at vpn=0x2",
+        ]
+        assert first_violating_vpn(violations) == 0xA80006
+
+    def test_skips_violations_without_vpn(self):
+        violations = ["protocol counter mismatch", "leak at vpn=0x2"]
+        assert first_violating_vpn(violations) == 0x2
+
+    def test_none_when_no_vpn_anywhere(self):
+        assert first_violating_vpn(["counter mismatch"]) is None
+        assert first_violating_vpn([]) is None
+
+
+class TestAuditorIntegration:
+    def test_audit_system_records_last_violations(self):
+        config = baseline_config(2)
+        workload = _workload("PR", config, lanes=1, accesses_per_lane=40, seed=1)
+        system = MultiGPUSystem(config, seed=1)
+        system.run(workload)
+        violations = audit_system(system)
+        assert system.last_violations == violations
+
+
+class TestFormatHistory:
+    def test_renders_aligned_table(self):
+        history = ProtocolHistory()
+        history.emit("inval.send", "gpu0.dir", 0x10, iseq=7, dst=1)
+        history.emit("inval.ack", "gpu1.tlb", 0x10, iseq=7)
+        text = format_history(history, 0x10)
+        lines = text.splitlines()
+        assert "vpn=0x10" in lines[0]
+        assert "2 record(s)" in lines[0]
+        assert lines[1].startswith("cycle")
+        assert "iseq=7" in text and "inval.ack" in text
+
+    def test_empty_history_explains_itself(self):
+        history = ProtocolHistory()
+        text = format_history(history, 0x99)
+        assert "no protocol messages" in text
+
+    def test_truncation_is_flagged(self):
+        history = ProtocolHistory(per_vpn=2)
+        for iseq in range(5):
+            history.emit("inval.send", "gpu0.dir", 0x10, iseq=iseq)
+        assert "oldest dropped" in format_history(history, 0x10)

@@ -128,3 +128,33 @@ class TestCheckpointFlags:
         code = main(["figure", "fig01", "--resume-sweep", "--no-cache"])
         assert code == 2
         assert "--resume-sweep" in capsys.readouterr().err
+
+    def test_workers_requires_cache(self, capsys):
+        code = main(["figure", "fig01", "--workers", "local:2", "--no-cache"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_workers_rejects_bad_spec(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = main(["figure", "fig01", "--workers", "nfs:somewhere"])
+        assert code == 2
+        assert "host spec" in capsys.readouterr().err
+
+
+class TestChaosDump:
+    def test_clean_run_reports_no_violations(self, capsys):
+        code = main([
+            "chaos", "dump", "PR", "--gpus", "2", "--lanes", "1",
+            "--accesses", "60", "--faults", "light", "--audit", "5000",
+        ])
+        assert code == 0
+        assert "no violating VPN to dump" in capsys.readouterr().out
+
+    def test_explicit_vpn_prints_history(self, capsys):
+        code = main([
+            "chaos", "dump", "PR", "--gpus", "2", "--lanes", "1",
+            "--accesses", "60", "--faults", "light", "--audit", "5000",
+            "--vpn", "0x10",
+        ])
+        assert code == 0
+        assert "protocol history for vpn=0x10" in capsys.readouterr().out
