@@ -165,6 +165,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "(APP and sizing flags come from the checkpoint)"
         ),
     )
+    run.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help=(
+            "also write the result as canonical JSON (sorted keys, compact, "
+            "one line) — byte-identical to the job service's artifact for "
+            "the same run; '-' writes to stdout"
+        ),
+    )
     add_sim_args(run)
 
     compare = sub.add_parser("compare", help="all invalidation schemes on one app")
@@ -398,6 +408,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-case progress"
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP job service (see DESIGN.md §12)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker pool size (concurrent simulations)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="bounded admission queue depth; beyond it POST /jobs gets "
+        "429 with a Retry-After hint",
+    )
+    serve.add_argument(
+        "--cache-dir", default=".repro-cache",
+        metavar="DIR",
+        help="content-addressed result cache = artifact store; the job "
+        "journal and checkpoints live under it too",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=100_000, metavar="CYCLES",
+        help="default RCKP cadence for jobs that do not set their own "
+        "(0 disables; checkpoints are what crash recovery resumes from)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-shutdown budget: running jobs get this long to "
+        "finish before being checkpoint-snapshotted for the next boot",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="retries per task before quarantine (supervisor policy)",
+    )
+    serve.add_argument(
+        "--task-deadline", type=float, default=None, metavar="SECONDS",
+        help="hang watchdog: kill and retry a task silent this long",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
     return parser
 
 
@@ -423,15 +476,15 @@ def _cmd_list() -> int:
     return 0
 
 
-def _print_result(result) -> None:
+def _print_result(result, file=None) -> None:
     skip = {"extras", "workload", "scheme", "num_gpus"}
     for key, value in asdict(result).items():
         if key in skip:
             continue
         if isinstance(value, float):
-            print(f"  {key:<28} {value:.3f}")
+            print(f"  {key:<28} {value:.3f}", file=file)
         else:
-            print(f"  {key:<28} {value}")
+            print(f"  {key:<28} {value}", file=file)
 
 
 def _report_abort(result, system) -> int:
@@ -442,6 +495,19 @@ def _report_abort(result, system) -> int:
     if dump:
         print(dump, file=sys.stderr)
     return 3
+
+
+def _write_result_json(result, target: str) -> None:
+    from .metrics.export import result_to_json_bytes
+
+    blob = result_to_json_bytes(result)
+    if target == "-":
+        sys.stdout.buffer.write(blob)
+        sys.stdout.buffer.flush()
+    else:
+        with open(target, "wb") as fh:
+            fh.write(blob)
+        print(f"wrote {target}")
 
 
 def _cmd_run(args) -> int:
@@ -457,11 +523,17 @@ def _cmd_run(args) -> int:
         except CheckpointError as exc:
             print(f"error: cannot resume from {args.resume}: {exc}", file=sys.stderr)
             return 2
+        # With --json - the payload owns stdout; the human summary
+        # moves to stderr so the stream stays machine-parseable.
+        human = sys.stderr if args.json == "-" else None
         print(
             f"{result.workload} resumed from {args.resume} "
-            f"({result.num_gpus} GPUs, scheme={result.scheme})"
+            f"({result.num_gpus} GPUs, scheme={result.scheme})",
+            file=human,
         )
-        _print_result(result)
+        _print_result(result, file=human)
+        if args.json:
+            _write_result_json(result, args.json)
         return _report_abort(result, system)
     if not args.app:
         print("error: APP is required unless --resume is given", file=sys.stderr)
@@ -516,7 +588,8 @@ def _cmd_run(args) -> int:
             print(
                 f"wrote {controller.written} checkpoint(s) to "
                 f"{args.checkpoint_dir} ({controller.retries} quiescence "
-                f"retries)"
+                f"retries)",
+                file=sys.stderr if args.json == "-" else None,
             )
         if args.trace:
             from .metrics.trace_export import trace_to_chrome, trace_to_jsonl
@@ -525,12 +598,20 @@ def _cmd_run(args) -> int:
             count = export(tracer, args.trace)
             print(
                 f"wrote {args.trace}: {count:,} {args.trace_format} trace records"
-                + (f" ({tracer.dropped:,} dropped)" if tracer.dropped else "")
+                + (f" ({tracer.dropped:,} dropped)" if tracer.dropped else ""),
+                file=sys.stderr if args.json == "-" else None,
             )
     else:
         result = runner.run(args.app, config)
-    print(f"{args.app} on {args.gpus} GPUs, scheme={args.scheme}, policy={args.policy}")
-    _print_result(result)
+    human = sys.stderr if args.json == "-" else None
+    print(
+        f"{args.app} on {args.gpus} GPUs, scheme={args.scheme}, "
+        f"policy={args.policy}",
+        file=human,
+    )
+    _print_result(result, file=human)
+    if args.json:
+        _write_result_json(result, args.json)
     return _report_abort(result, system)
 
 
@@ -876,6 +957,27 @@ def _cmd_fuzz(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .experiments.cache import ResultCache
+    from .service import JobManager
+    from .service.server import serve as serve_forever
+
+    cache = ResultCache(args.cache_dir)
+    manager = JobManager(
+        cache,
+        workers=args.jobs,
+        queue_limit=args.queue_limit,
+        checkpoint_every=args.checkpoint_every or None,
+        drain_timeout=args.drain_timeout,
+        supervisor_opts={
+            "max_attempts": args.max_attempts,
+            "task_deadline": args.task_deadline,
+        },
+    )
+    serve_forever(manager, args.host, args.port, verbose=args.verbose)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -899,6 +1001,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_fuzz(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return 2
 
 

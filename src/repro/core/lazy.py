@@ -83,26 +83,35 @@ class LazyInvalidationController:
     def on_new_mapping(self, vpn: int) -> bool:
         """Cancel the pending invalidation for ``vpn`` — wherever it is —
         because the caller is about to overwrite the PTE with a fresh
-        mapping via an UPDATE walk."""
+        mapping via an UPDATE walk.
+
+        Returns True iff *any* pending invalidation was cancelled
+        (removed from the IRMB, dropped from the walk queue, or aborted
+        in flight).  A cancelled invalidation will never *apply*, so its
+        apply-time raced-fill flush will never run — the caller owns
+        flushing TLB fills that raced with the original shootdown.
+        """
         tracer = self._tracer
         traced = tracer.enabled
-        removed = self.irmb.remove(vpn)
-        if removed:
+        cancelled = self.irmb.remove(vpn)
+        if cancelled:
             self.stats.counter("cancelled_by_mapping").add()
             if traced:
                 tracer.emit("lazy.cancel", self.name, vpn, where="irmb")
         if vpn in self._queued_for_walk:
             self._cancelled.add(vpn)
+            cancelled = True
             self.stats.counter("cancelled_queued").add()
             if traced:
                 tracer.emit("lazy.cancel", self.name, vpn, where="queued")
         pending = self._inflight_walks.get(vpn)
         if pending is not None:
             pending.aborted = True
+            cancelled = True
             self.stats.counter("aborted_inflight").add()
             if traced:
                 tracer.emit("lazy.cancel", self.name, vpn, where="inflight")
-        return removed
+        return cancelled
 
     def force_evict(self) -> int:
         """Evict the LRU merged entry right now and propagate its walks

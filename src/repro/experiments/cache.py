@@ -75,6 +75,26 @@ _DIGEST_LEN = 32
 #: memoised per process — the package source does not change mid-run.
 _CODE_VERSION: Optional[str] = None
 
+#: shared-remote degradation warnings already emitted by this process.
+#: A dead or corrupt remote tier would otherwise warn once per failed
+#: get/put — thousands of identical lines across a sweep — when the
+#: operator only needs to hear "degraded to local-only" once.
+_REMOTE_WARNED: set = set()
+
+
+def _warn_remote_once(tag: str, message: str, stacklevel: int = 2) -> None:
+    """Emit a shared-remote degradation warning at most once per process
+    (per failure kind)."""
+    if tag in _REMOTE_WARNED:
+        return
+    _REMOTE_WARNED.add(tag)
+    warnings.warn(message, RuntimeWarning, stacklevel=stacklevel + 1)
+
+
+def _reset_remote_warnings() -> None:
+    """Test hook: re-arm the once-per-process degradation warnings."""
+    _REMOTE_WARNED.clear()
+
 
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
@@ -253,10 +273,11 @@ class ResultCache:
         try:
             self._validate(blob)
         except ValueError as exc:
-            warnings.warn(
+            _warn_remote_once(
+                "pull",
                 f"ignoring corrupt shared-cache entry {rpath}: {exc}; "
-                f"the run will be recomputed",
-                RuntimeWarning,
+                f"the run will be recomputed (further shared-cache pull "
+                f"failures this process will degrade silently)",
                 stacklevel=3,
             )
             return None
@@ -280,10 +301,11 @@ class ResultCache:
             if self._write_atomic(rpath, blob):
                 self.remote_pushes += 1
             else:
-                warnings.warn(
+                _warn_remote_once(
+                    "push",
                     f"failed to push cache entry to shared backend {self.remote}; "
-                    f"continuing local-only",
-                    RuntimeWarning,
+                    f"continuing local-only (further push failures this "
+                    f"process will degrade silently)",
                     stacklevel=2,
                 )
 

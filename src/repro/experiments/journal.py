@@ -178,6 +178,16 @@ class SweepJournal:
     def _lines(self) -> Iterator[dict]:
         yield from _read_records(self.path)
 
+    def events(self) -> Iterator[dict]:
+        """Every surviving record in file order (torn lines skipped).
+
+        The raw ledger, for consumers whose state is *not*
+        last-writer-wins per key — the job service folds a per-job state
+        machine over the full event sequence (a ``queued`` record
+        carries the job spec that later ``started``/``done`` records for
+        the same key do not repeat)."""
+        yield from self._lines()
+
     def replay(self) -> Dict[str, dict]:
         """Fold the journal into ``key -> last record`` (writer order)."""
         state: Dict[str, dict] = {}

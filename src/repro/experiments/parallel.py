@@ -207,7 +207,7 @@ class _Task:
 
     __slots__ = ("key", "app", "config", "scale", "status", "attempts",
                  "not_before", "result", "ckpt_every", "ckpt_dir",
-                 "resume_from")
+                 "resume_from", "lanes", "accesses_per_lane", "seed")
 
     def __init__(
         self,
@@ -219,6 +219,9 @@ class _Task:
         ckpt_every: Optional[int] = None,
         ckpt_dir: Optional[str] = None,
         resume_from: Optional[str] = None,
+        lanes: Optional[int] = None,
+        accesses_per_lane: Optional[int] = None,
+        seed: Optional[int] = None,
     ) -> None:
         self.key = key
         self.app = app
@@ -231,6 +234,12 @@ class _Task:
         self.ckpt_every = ckpt_every
         self.ckpt_dir = ckpt_dir
         self.resume_from = resume_from
+        # Per-task trace-shape overrides (None = the supervisor-wide
+        # value): a job service mixes differently-shaped runs in one
+        # worker pool, unlike a figure sweep's homogeneous grid.
+        self.lanes = lanes
+        self.accesses_per_lane = accesses_per_lane
+        self.seed = seed
 
 
 class _Worker:
@@ -273,6 +282,7 @@ class SweepSupervisor:
         backoff_base: float = 0.25,
         drain_timeout: float = 5.0,
         terminate_grace: float = 5.0,
+        heartbeat_events: bool = False,
     ) -> None:
         self.jobs = jobs
         self.lanes = lanes
@@ -295,6 +305,11 @@ class SweepSupervisor:
         self.backoff_base = backoff_base
         self.drain_timeout = drain_timeout
         self.terminate_grace = terminate_grace
+        #: surface worker heartbeats as ("hb", key) events from
+        #: :meth:`step` — liveness progress for an embedding job
+        #: service's event stream.  Off by default: sweep consumers only
+        #: care about terminal outcomes.
+        self.heartbeat_events = heartbeat_events
         # Introspection counters (tests and progress reporting).
         self.failures = 0
         self.worker_deaths = 0
@@ -382,16 +397,25 @@ class SweepSupervisor:
         checkpoint_every: Optional[int] = None,
         checkpoint_dir: Optional[str] = None,
         resume_from: Optional[str] = None,
+        lanes: Optional[int] = None,
+        accesses_per_lane: Optional[int] = None,
+        seed: Optional[int] = None,
     ) -> None:
         """Queue one task (idempotent per ``key``).  Checkpoint knobs
         make the run migratable: the coordinator can later
-        :meth:`preempt` it and resubmit elsewhere with ``resume_from``."""
+        :meth:`preempt` it and resubmit elsewhere with ``resume_from``.
+        ``lanes`` / ``accesses_per_lane`` / ``seed`` override the
+        supervisor-wide trace shape for this task only (the job
+        service's pool is heterogeneous; figure grids are not)."""
         if key not in self._state:
             self._state[key] = _Task(
                 key, app, config, scale,
                 ckpt_every=checkpoint_every,
                 ckpt_dir=checkpoint_dir,
                 resume_from=resume_from,
+                lanes=lanes,
+                accesses_per_lane=accesses_per_lane,
+                seed=seed,
             )
 
     def step(self, *, respawn: bool = True) -> List[tuple]:
@@ -423,6 +447,11 @@ class SweepSupervisor:
     def unstarted(self) -> List[str]:
         """Keys that are queued but not running — the steal candidates."""
         return [t.key for t in self._state.values() if t.status == "pending"]
+
+    def running(self) -> List[str]:
+        """Keys currently on a worker — the preemption candidates a
+        graceful drain snapshots when its budget runs out."""
+        return [t.key for t in self._state.values() if t.status == "running"]
 
     def revoke(self, keys: Sequence[str]) -> List[str]:
         """Give back not-yet-started tasks (work-stealing).  A key that
@@ -593,7 +622,11 @@ class SweepSupervisor:
             worker.last_beat = now
             worker.queue.put((
                 task.key, task.app, task.config, task.scale,
-                self.lanes, self.accesses_per_lane, self.seed,
+                task.lanes if task.lanes is not None else self.lanes,
+                task.accesses_per_lane
+                if task.accesses_per_lane is not None
+                else self.accesses_per_lane,
+                task.seed if task.seed is not None else self.seed,
                 task.ckpt_every, task.ckpt_dir, task.resume_from,
             ))
             self._events.append(("start", task.key))
@@ -626,6 +659,8 @@ class SweepSupervisor:
         if kind in ("start", "hb"):
             if worker is not None:
                 worker.last_beat = time.monotonic()
+            if kind == "hb" and self.heartbeat_events and key in state:
+                self._events.append(("hb", key))
             return
         task = state.get(key)
         if task is not None:

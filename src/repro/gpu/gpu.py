@@ -177,34 +177,73 @@ class GPU:
         yield from self.data_access(vpn, word, is_write)
 
     def translate(self, lane: int, vpn: int, is_write: bool):
-        """Translate ``vpn``; returns the PTE word."""
+        """Translate ``vpn``; returns the PTE word.
+
+        Under fault injection every fill payload is *versioned* with the
+        per-VPN invalidation epoch (advanced by each applied hardened
+        sequence number, see :meth:`receive_invalidation`): a payload
+        released from an MSHR after a shootdown overtook it carries a
+        stale version and is dropped instead of installed, and the lane
+        re-translates.  Unfaulted runs take the original unversioned
+        path byte-for-byte (golden traces pin it).
+        """
         l1 = self.l1_tlbs[lane]
+        faulted = self.injector is not None
         yield self._l1_latency
-        word = l1.lookup(vpn)
-        if word is not None:
+        while True:
+            word = l1.lookup(vpn)
+            if word is not None:
+                return word
+
+            mshr1 = self.l1_mshrs[lane]
+            if vpn in mshr1:
+                payload = yield mshr1.wait(vpn)
+                if not faulted:
+                    return payload
+                word, version = payload
+                if self._inval_epoch.get(vpn, 0) == version:
+                    return word
+                # A shootdown landed while this waiter was being
+                # released: the payload predates it.  Drop and retry.
+                self.stats.counter("stale_payload_drops").add()
+                yield self._l1_latency
+                continue
+            mshr1.allocate(vpn)
+
+            # L2 TLB and IRMB are probed in parallel; both fit in the L2 latency.
+            yield self._l2_latency
+            word = self.l2_tlb.lookup(vpn)
+            if word is not None:
+                version = self._inval_epoch.get(vpn, 0) if faulted else 0
+            else:
+                word, version = yield from self._l2_miss(vpn, is_write)
+            if faulted and self._inval_epoch.get(vpn, 0) != version:
+                # Versioned install: the fill is older than the newest
+                # invalidation applied to this page.  Propagate the
+                # stale payload (waiters re-validate it themselves) and
+                # re-translate instead of installing a pre-shootdown
+                # owner into the L1 TLB.
+                self.stats.counter("stale_payload_drops").add()
+                mshr1.complete(vpn, (word, version))
+                yield self._l1_latency
+                continue
+            l1.insert(vpn, word)
+            mshr1.complete(vpn, word if not faulted else (word, version))
             return word
-
-        mshr1 = self.l1_mshrs[lane]
-        if vpn in mshr1:
-            return (yield mshr1.wait(vpn))
-        mshr1.allocate(vpn)
-
-        # L2 TLB and IRMB are probed in parallel; both fit in the L2 latency.
-        yield self._l2_latency
-        word = self.l2_tlb.lookup(vpn)
-        if word is None:
-            word = yield from self._l2_miss(vpn, is_write)
-        l1.insert(vpn, word)
-        mshr1.complete(vpn, word)
-        return word
 
     def _l2_miss(self, vpn: int, is_write: bool):
-        """Demand L2 TLB miss: IRMB bypass / page walk / far fault."""
+        """Demand L2 TLB miss: IRMB bypass / page walk / far fault.
+
+        Returns ``(word, version)`` where ``version`` is the VPN's
+        invalidation epoch at the instant the word was known good
+        (always 0 in unfaulted runs)."""
         t_miss = self.engine.now
         if vpn in self.l2_mshr:
-            word = yield self.l2_mshr.wait(vpn)
+            payload = yield self.l2_mshr.wait(vpn)
             self.stats.latency("demand_miss_latency").record(self.engine.now - t_miss)
-            return word
+            if self.injector is None:
+                return payload, 0
+            return payload  # (word, version) stamped by the primary
         self.l2_mshr.allocate(vpn)
 
         if (
@@ -225,9 +264,14 @@ class GPU:
                 word = yield from self._far_fault(vpn, is_write)
 
         self.l2_tlb.insert(vpn, word)
-        self.l2_mshr.complete(vpn, word)
+        if self.injector is None:
+            version = 0
+            self.l2_mshr.complete(vpn, word)
+        else:
+            version = self._inval_epoch.get(vpn, 0)
+            self.l2_mshr.complete(vpn, (word, version))
         self.stats.latency("demand_miss_latency").record(self.engine.now - t_miss)
-        return word
+        return word, version
 
     def _far_fault(self, vpn: int, is_write: bool):
         """Resolve a far fault; returns the new PTE word (installed in the
@@ -235,6 +279,12 @@ class GPU:
         t0 = self.engine.now
         self.stats.counter("far_faults").add()
 
+        # Version the payload at *fetch* time, not install time: a
+        # shootdown applied anywhere between raising the fault and the
+        # UPDATE walk retiring makes the reply stale, and capturing the
+        # epoch after the reply arrives would silently absorb any bump
+        # that landed during the round trip.
+        epoch = self._inval_epoch.get(vpn, 0) if self.injector is not None else 0
         word: Optional[int] = None
         if self.transfw is not None:
             word = yield from self._transfw_forward(vpn)
@@ -242,9 +292,14 @@ class GPU:
             word = yield self.driver.raise_far_fault(self.gpu_id, vpn, is_write)
 
         while True:
-            epoch = self._inval_epoch.get(vpn, 0) if self.injector is not None else 0
             if self.lazy is not None:
-                self.lazy.on_new_mapping(vpn)
+                cancelled = self.lazy.on_new_mapping(vpn)
+                if cancelled and self.injector is not None:
+                    # The buffered invalidation will never apply, so its
+                    # apply-time raced-fill flush will never run: evict
+                    # any fill that raced with the original shootdown
+                    # before the fresh mapping becomes the truth.
+                    self._flush_raced_fills(vpn)
             update = self.gmmu.walk(vpn, WalkKind.UPDATE, word=word)
             yield update.done
             if self.injector is None or self._inval_epoch.get(vpn, 0) == epoch:
@@ -257,6 +312,7 @@ class GPU:
                 self._tracer.emit("fault.stale_install", self.name, vpn)
             self._shootdown_tlbs(vpn)
             self.page_table.invalidate(vpn)
+            epoch = self._inval_epoch.get(vpn, 0)
             word = yield self.driver.raise_far_fault(self.gpu_id, vpn, is_write)
         self.stats.latency("far_fault_latency").record(self.engine.now - t0)
         return word
@@ -397,11 +453,40 @@ class GPU:
 
     def deliver_mapping(self, vpn: int, word: int) -> Event:
         """Driver pushes a fresh mapping (migration destination): cancel
-        any pending IRMB invalidation and install via an UPDATE walk."""
+        any pending IRMB invalidation and install via an UPDATE walk.
+
+        Under fault injection the pushed payload is versioned with this
+        GPU's invalidation epoch at send time (the epoch advances once
+        per applied hardened sequence number): if a newer shootdown
+        lands while the UPDATE walk is still in flight — walker stalls
+        and delayed messages make that window real — the install is
+        undone at retire time instead of re-installing a pre-shootdown
+        owner into the page table.  On a clean install any TLB fill
+        that raced with an earlier shootdown is flushed, so a
+        remote-marker entry cannot outlive the migration.
+        """
         self.inval_generation += 1
         if self.lazy is not None:
-            self.lazy.on_new_mapping(vpn)
+            cancelled = self.lazy.on_new_mapping(vpn)
+            if cancelled and self.injector is not None:
+                # The cancelled invalidation's apply-time flush will
+                # never run; flush raced fills on its behalf.
+                self._flush_raced_fills(vpn)
         request = self.gmmu.walk(vpn, WalkKind.UPDATE, word=word)
+        if self.injector is not None:
+            version = self._inval_epoch.get(vpn, 0)
+
+            def _validate(_ev, vpn=vpn, version=version):
+                if self._inval_epoch.get(vpn, 0) == version:
+                    self._flush_raced_fills(vpn)
+                    return
+                self.stats.counter("stale_push_undone").add()
+                if self._tracer.enabled:
+                    self._tracer.emit("fault.stale_push", self.name, vpn)
+                self.page_table.invalidate(vpn)
+                self._shootdown_tlbs(vpn)
+
+            request.done.add_callback(_validate)
         return request.done
 
     # ------------------------------------------------------------------

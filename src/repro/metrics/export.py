@@ -15,7 +15,13 @@ from typing import Dict, List, Union
 
 from .collector import SimulationResult
 
-__all__ = ["series_to_csv", "series_to_json", "result_to_json", "results_to_csv"]
+__all__ = [
+    "series_to_csv",
+    "series_to_json",
+    "result_to_json",
+    "result_to_json_bytes",
+    "results_to_csv",
+]
 
 
 def _columns(series: Dict[str, Dict[str, float]]) -> List[str]:
@@ -45,6 +51,16 @@ def series_to_json(series: Dict[str, Dict[str, float]], path: Union[str, Path]) 
 def result_to_json(result: SimulationResult, path: Union[str, Path]) -> None:
     """Full metric dump of one simulation run."""
     Path(path).write_text(json.dumps(asdict(result), indent=2, sort_keys=True))
+
+
+def result_to_json_bytes(result: SimulationResult) -> bytes:
+    """Canonical byte rendering of one result: sorted keys, compact
+    separators, trailing newline.  ``repro run --json`` and the job
+    service's artifact endpoint both emit exactly these bytes, so
+    "service artifact equals a direct CLI run" is a byte-equality
+    check, not a fuzzy comparison."""
+    payload = json.dumps(asdict(result), sort_keys=True, separators=(",", ":"))
+    return (payload + "\n").encode("utf-8")
 
 
 def results_to_csv(results: List[SimulationResult], path: Union[str, Path]) -> None:

@@ -1,0 +1,144 @@
+"""Optional FastAPI/ASGI adapter over the same :class:`JobManager`.
+
+The stdlib server in :mod:`repro.service.server` is the canonical
+deployment — it has zero dependencies and is what the CLI, tests and CI
+drills use.  This module exists for installations that already operate
+an ASGI stack (uvicorn behind a load balancer, shared middleware,
+OpenAPI docs): it mounts the identical routes, status codes and
+backpressure semantics onto a FastAPI application.
+
+FastAPI is *not* a dependency of this repository.  Importing this
+module without it installed raises a clear error; nothing else in the
+service package touches it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .manager import JobManager, QueueFull, ServiceDraining
+from .models import TERMINAL_STATES, SpecError
+
+__all__ = ["create_app"]
+
+try:  # pragma: no cover - exercised only where FastAPI is installed
+    import fastapi as _fastapi
+except ImportError:  # pragma: no cover
+    _fastapi = None
+
+
+def create_app(manager: JobManager) -> Any:
+    """Build a FastAPI app over ``manager`` (raises if FastAPI absent).
+
+    The caller owns the manager lifecycle; the app wires
+    ``manager.start()`` / ``manager.close()`` into ASGI startup and
+    shutdown so a ``uvicorn`` stop signal drains exactly like the
+    stdlib server does.
+    """
+    if _fastapi is None:
+        raise RuntimeError(
+            "FastAPI is not installed; use the stdlib server "
+            "(`repro serve` / repro.service.server) or install fastapi"
+        )
+
+    from fastapi import FastAPI, HTTPException, Request, Response
+    from fastapi.responses import StreamingResponse
+
+    from .events import sse_format
+
+    app = FastAPI(title="repro simulation service")
+
+    @app.on_event("startup")
+    def _startup() -> None:
+        manager.start()
+
+    @app.on_event("shutdown")
+    def _shutdown() -> None:
+        manager.close(drain=True)
+
+    @app.post("/jobs", status_code=202)
+    async def submit(request: Request, response: Response) -> Any:
+        try:
+            payload = await request.json()
+        except Exception as exc:
+            raise HTTPException(400, f"request body is not JSON: {exc}")
+        try:
+            record = manager.submit(payload)
+        except SpecError as exc:
+            raise HTTPException(400, str(exc))
+        except QueueFull as exc:
+            raise HTTPException(
+                429, str(exc), headers={"Retry-After": str(exc.retry_after)}
+            )
+        except ServiceDraining as exc:
+            raise HTTPException(503, str(exc))
+        return record.to_dict()
+
+    @app.get("/jobs")
+    def list_jobs() -> Any:
+        records = sorted(manager.list_jobs(), key=lambda r: r.created)
+        return {"jobs": [r.to_dict() for r in records]}
+
+    @app.get("/jobs/{job_id}")
+    def get_job(job_id: str) -> Any:
+        record = manager.get(job_id)
+        if record is None:
+            raise HTTPException(404, f"no such job: {job_id}")
+        return record.to_dict()
+
+    @app.get("/jobs/{job_id}/events")
+    def stream_events(job_id: str, since: int = 0) -> Any:
+        if manager.get(job_id) is None:
+            raise HTTPException(404, f"no such job: {job_id}")
+
+        def frames():
+            cursor = since
+            while True:
+                fresh = manager.events.wait_since(job_id, cursor, 15.0)
+                if not fresh:
+                    record = manager.get(job_id)
+                    if record is not None and record.state in TERMINAL_STATES:
+                        yield sse_format({
+                            "seq": cursor, "job": job_id,
+                            "event": record.state, "synthetic": True,
+                        })
+                        return
+                    yield b": keepalive\n\n"
+                    continue
+                terminal = False
+                for event in fresh:
+                    cursor = max(cursor, event["seq"])
+                    terminal = terminal or event["event"] in ("done", "failed")
+                    yield sse_format(event)
+                if terminal:
+                    return
+
+        return StreamingResponse(frames(), media_type="text/event-stream")
+
+    @app.get("/jobs/{job_id}/artifact")
+    def artifact(job_id: str) -> Any:
+        record = manager.get(job_id)
+        if record is None:
+            raise HTTPException(404, f"no such job: {job_id}")
+        if record.state != "done":
+            raise HTTPException(409, f"job is {record.state}")
+        blob = manager.artifact(job_id)
+        if blob is None:
+            raise HTTPException(404, "artifact evicted from the result cache")
+        return Response(content=blob, media_type="application/x-ndjson")
+
+    @app.get("/healthz")
+    def healthz() -> Any:
+        return {"ok": manager.healthy()}
+
+    @app.get("/readyz")
+    def readyz() -> Any:
+        if not manager.ready():
+            raise HTTPException(503, "draining")
+        return {"ready": True}
+
+    @app.get("/metrics")
+    def metrics() -> Any:
+        return manager.metrics()
+
+    return app

@@ -1,0 +1,115 @@
+"""Per-job progress event logs and their SSE rendering.
+
+Every job owns an append-only, monotonically-numbered event log fed by
+the :class:`~repro.service.manager.JobManager` as it translates
+supervisor ticks (dispatch, heartbeat, retry, quarantine, completion)
+into client-visible progress.  Readers are pull-based: a poller asks
+for everything ``since`` a sequence number; an SSE stream blocks on the
+broker's condition variable and wakes on every append, so streaming
+costs nothing between events.
+
+Logs are bounded (oldest events drop past ``capacity``, with the drop
+count surfaced) — a hot job streaming thousands of heartbeats must not
+grow server memory without limit.  Every event carries its ``seq`` as
+the SSE ``id:`` line, so a reconnecting client resumes with
+``?since=<last id>`` and never replays what it saw.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+__all__ = ["EventBroker", "sse_format"]
+
+#: per-job event-log bound; heartbeats dominate long jobs.
+DEFAULT_CAPACITY = 4096
+
+
+class _JobLog:
+    __slots__ = ("events", "next_seq", "dropped")
+
+    def __init__(self, capacity: int) -> None:
+        self.events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self.next_seq = 1
+        self.dropped = 0
+
+
+class EventBroker:
+    """All jobs' event logs behind one lock + condition variable."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._capacity = capacity
+        self._logs: Dict[str, _JobLog] = {}
+        self._cond = threading.Condition()
+
+    def emit(self, job_id: str, event: str, **fields: Any) -> int:
+        """Append one event; returns its sequence number."""
+        with self._cond:
+            log = self._logs.get(job_id)
+            if log is None:
+                log = self._logs[job_id] = _JobLog(self._capacity)
+            entry = {
+                "seq": log.next_seq,
+                "ts": round(time.time(), 3),
+                "job": job_id,
+                "event": event,
+            }
+            entry.update(fields)
+            log.next_seq += 1
+            if len(log.events) == log.events.maxlen:
+                log.dropped += 1
+            log.events.append(entry)
+            self._cond.notify_all()
+            return entry["seq"]
+
+    def since(self, job_id: str, after_seq: int = 0) -> List[Dict[str, Any]]:
+        """Every buffered event for ``job_id`` with ``seq > after_seq``."""
+        with self._cond:
+            log = self._logs.get(job_id)
+            if log is None:
+                return []
+            return [e for e in log.events if e["seq"] > after_seq]
+
+    def wait_since(
+        self, job_id: str, after_seq: int, timeout: float
+    ) -> List[Dict[str, Any]]:
+        """Block up to ``timeout`` seconds for events past ``after_seq``;
+        returns them (possibly empty on timeout)."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while True:
+                log = self._logs.get(job_id)
+                if log is not None:
+                    fresh = [e for e in log.events if e["seq"] > after_seq]
+                    if fresh:
+                        return fresh
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return []
+                self._cond.wait(remaining)
+
+    def dropped(self, job_id: str) -> int:
+        with self._cond:
+            log = self._logs.get(job_id)
+            return log.dropped if log is not None else 0
+
+    def forget(self, job_id: str) -> None:
+        """Release a finished job's log (called on eviction)."""
+        with self._cond:
+            self._logs.pop(job_id, None)
+
+
+def sse_format(event: Dict[str, Any]) -> bytes:
+    """One event as a Server-Sent-Events frame: ``id`` carries the
+    sequence number for ``?since=`` resumption, ``event`` the kind,
+    ``data`` the full JSON record."""
+    payload = json.dumps(event, sort_keys=True, separators=(",", ":"))
+    return (
+        f"id: {event['seq']}\n"
+        f"event: {event['event']}\n"
+        f"data: {payload}\n\n"
+    ).encode("utf-8")

@@ -1,0 +1,116 @@
+"""Bounded admission queue: the service's backpressure valve.
+
+Admission is all-or-nothing and O(1): a job either gets a queue slot or
+the server answers 429 with a ``Retry-After`` derived from the work
+actually ahead of the caller — queue depth times the EWMA of recent
+job service times, divided by the worker count.  An overloaded server
+therefore degrades into *honest* refusals instead of unbounded memory
+growth and timeouts, and a well-behaved client that honours
+``Retry-After`` converges on the real drain rate instead of hammering.
+
+``force=True`` exists for exactly one caller: crash recovery.  A job
+the journal proves was accepted before a crash must be re-admitted even
+if the configured limit shrank in between — "no accepted job is ever
+lost" outranks the bound (the queue was bounded at original admission
+time; recovery merely restores it).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Deque, List, Optional
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Thread-safe bounded FIFO of job ids plus the service-time EWMA
+    that turns its depth into a ``Retry-After`` hint."""
+
+    def __init__(
+        self,
+        limit: int,
+        workers: int,
+        *,
+        default_service_time: float = 30.0,
+        ewma_alpha: float = 0.2,
+        min_retry_after: int = 1,
+        max_retry_after: int = 3600,
+    ) -> None:
+        if limit < 1:
+            raise ValueError(f"queue limit must be >= 1, got {limit}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.limit = limit
+        self.workers = workers
+        self.min_retry_after = min_retry_after
+        self.max_retry_after = max_retry_after
+        self._alpha = ewma_alpha
+        self._service_time = default_service_time
+        self._items: Deque[str] = deque()
+        self._lock = threading.Lock()
+        #: total offers refused (metrics).
+        self.rejected = 0
+
+    # -- admission -----------------------------------------------------------
+
+    def offer(self, job_id: str, *, force: bool = False) -> bool:
+        """Admit ``job_id`` if a slot is free; False means 429."""
+        with self._lock:
+            if not force and len(self._items) >= self.limit:
+                self.rejected += 1
+                return False
+            self._items.append(job_id)
+            return True
+
+    def requeue_front(self, job_id: str) -> None:
+        """Put a recovered in-flight job at the head of the line: it had
+        already reached a worker once and outranks still-queued jobs."""
+        with self._lock:
+            self._items.appendleft(job_id)
+
+    def take(self) -> Optional[str]:
+        """Pop the oldest queued job (None when empty)."""
+        with self._lock:
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    # -- introspection -------------------------------------------------------
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def snapshot(self) -> List[str]:
+        with self._lock:
+            return list(self._items)
+
+    # -- backpressure hint ---------------------------------------------------
+
+    def note_service_time(self, seconds: float) -> None:
+        """Fold one completed job's wall time into the EWMA."""
+        if seconds <= 0:
+            return
+        with self._lock:
+            self._service_time = (
+                self._alpha * seconds + (1.0 - self._alpha) * self._service_time
+            )
+
+    def service_time(self) -> float:
+        with self._lock:
+            return self._service_time
+
+    def retry_after(self) -> int:
+        """Seconds until a refused caller plausibly finds a free slot:
+        the time for one queue slot to drain at the current service
+        rate, scaled by how full the queue is."""
+        with self._lock:
+            depth = len(self._items)
+            estimate = (depth + 1) * self._service_time / self.workers
+        return max(
+            self.min_retry_after,
+            min(self.max_retry_after, math.ceil(estimate)),
+        )

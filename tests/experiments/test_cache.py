@@ -6,7 +6,12 @@ from dataclasses import asdict
 import pytest
 
 from repro.config import InvalidationScheme, SystemConfig, baseline_config
-from repro.experiments.cache import ResultCache, cache_key, code_version
+from repro.experiments.cache import (
+    ResultCache,
+    _reset_remote_warnings,
+    cache_key,
+    code_version,
+)
 from repro.metrics.collector import SimulationResult
 
 KEY_ARGS = dict(scale=1.0, lanes=2, accesses_per_lane=120, seed=7)
@@ -183,6 +188,7 @@ class TestSharedRemote:
         assert reader.remote_hits == 1
 
     def test_corrupt_remote_entry_is_a_miss(self, tmp_path):
+        _reset_remote_warnings()
         key = "ef" * 32
         shared = tmp_path / "shared" / key[:2]
         shared.mkdir(parents=True)
@@ -200,6 +206,7 @@ class TestSharedRemote:
         assert ResultCache(tmp_path / "a", remote=False).remote is None
 
     def test_unreachable_remote_degrades_with_warning(self, tmp_path):
+        _reset_remote_warnings()
         blocker = tmp_path / "not-a-dir"
         blocker.write_text("file where the remote dir should be")
         cache = ResultCache(tmp_path / "local", remote=blocker)
@@ -207,6 +214,23 @@ class TestSharedRemote:
             cache.put("12" * 32, self._result())
         # The local tier still works.
         assert cache.get("12" * 32) is not None
+
+    def test_degradation_warning_fires_once_per_process(self, tmp_path, recwarn):
+        """A dead remote tier warns once, not once per put — a sweep of
+        thousands of runs must not flood its logs."""
+        _reset_remote_warnings()
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file where the remote dir should be")
+        cache = ResultCache(tmp_path / "local", remote=blocker)
+        for i in range(5):
+            cache.put(f"{i:02d}" * 32, self._result())
+        degradations = [
+            w for w in recwarn.list if "shared backend" in str(w.message)
+        ]
+        assert len(degradations) == 1
+        # Every put still landed locally.
+        for i in range(5):
+            assert cache.get(f"{i:02d}" * 32) is not None
 
 
 class TestPicklability:

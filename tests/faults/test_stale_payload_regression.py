@@ -1,0 +1,116 @@
+"""Regression pin: versioned mapping-update payloads close the residual
+stale-translation window under heavy uniform loss.
+
+Before payload versioning, two interleavings could install a stale
+translation *after* a hardened-sequence shootdown had already been
+applied, so the run survived the protocol layer but tripped the
+consistency auditors:
+
+* **Raced MSHR fill** (seed 5, ``gpu0 ... stale vpn from l1tlb1``): a
+  secondary miss parked on the L2 MSHR resumes after the primary's
+  completion and installs the pre-shootdown frame into its L1 — the
+  shootdown walked the TLBs *between* the completion and the waiter's
+  install.
+* **Late UPDATE push** (seed 7, ``gpu1 ... stale vpn from
+  page_table``): ``deliver_mapping``'s UPDATE walk retires after a
+  newer invalidation for the same page, re-installing the pre-shootdown
+  owner into the local page table.
+
+The fix stamps every in-flight translation payload with the page's
+invalidation epoch (bumped once per applied hardened sequence number)
+at *fetch* time — when the far fault is raised, not when its reply
+arrives, because a shootdown fully applied during the round trip would
+otherwise bump the epoch before capture and the staleness check would
+pass vacuously.  Stale fills are dropped at install time and
+re-translated (``stale_payload_drops`` / ``stale_install_races``); a
+stale UPDATE push is undone at walk retirement with a page-table
+invalidate + shootdown (``stale_push_undone``).
+
+``retries=14`` raises the hardened protocol's retry budget above the
+default 7: at heavy's 0.20 per-leg drop rate a full round trip fails
+with probability 0.36, so 8 attempts all failing (→ abandon → watchdog
+abort) has probability ~2.8e-4 per invalidation — with thousands of
+invalidations per run that liveness abort is *expected* at the default
+budget and is by design, not a staleness leak.  The raised budget
+isolates the property under test.  ``repro chaos dump KM --gpus 4
+--scheme idyll --faults heavy,watchdog=on,retries=14 --audit 20000
+--seed 7 --vpn 0x24000c`` shows the fixed interleaving — the far
+fault's reply spans a whole migration and the fetch-time epoch catches
+it at install::
+
+    369176  122034  mig.done            uvm   src=0 dst=3 waited=6300
+    369880  122339  fault.resolve       uvm   gpu=1 cycles=25598
+    369980  122377  fault.stale_install gpu1
+    369980  122378  fault.raise         uvm   gpu=1 write=True
+
+(the 25598-cycle resolve started *before* ``mig.start``; the word it
+carried named the pre-migration owner, and before the fix gpu1
+installed it into its page table 100 cycles after the migration
+committed — the cycle-300000 audit violation).
+
+These seeds are the pin: under these exact flags they reproduced the
+two stale-translation aborts deterministically before the fix (seed 5
+at cycle 240000 via l1tlb1, seed 7 at cycle 300000 via page_table),
+and must stay clean — with the defence provably engaged, not vacuously
+idle.
+"""
+
+import pytest
+
+from repro.config import InvalidationScheme, MigrationPolicy, baseline_config
+from repro.experiments.runner import build_app_workload
+from repro.faults.profiles import parse_fault_spec
+from repro.gpu.system import MultiGPUSystem
+
+#: the two seeds that deterministically reproduced the two stale
+#: interleavings before payload versioning (plus one always-clean one).
+REGRESSION_SEEDS = (5, 7)
+
+SIZES = dict(lanes=4, accesses_per_lane=1200)
+
+
+def _run_heavy(seed: int):
+    config = (
+        baseline_config(4)
+        .with_scheme(InvalidationScheme.IDYLL)
+        .with_policy(MigrationPolicy.ACCESS_COUNTER)
+    )
+    config = config.with_faults(parse_fault_spec("heavy,watchdog=on,retries=14"))
+    config = config.with_faults(audit_interval=20_000, audit_on_quiesce=True)
+    workload = build_app_workload(
+        "KM", num_gpus=4, page_size=config.page_size, scale=1.0,
+        seed=seed, **SIZES,
+    )
+    system = MultiGPUSystem(config, seed=seed)
+    result = system.run(workload)
+    return system, result
+
+
+class TestStalePayloadRegression:
+    @pytest.mark.parametrize("seed", REGRESSION_SEEDS)
+    def test_heavy_loss_survives_all_audits(self, seed):
+        system, result = _run_heavy(seed)
+        assert not result.aborted, (
+            f"seed {seed} regressed: {result.abort_reason}\n"
+            f"{system.abort_dump}"
+        )
+        assert system.audits_run > 0, "auditors never ran — vacuous pass"
+        assert result.faults_injected > 0, "no faults injected — vacuous pass"
+
+    def test_defence_actually_engages(self):
+        """Across the pinned seeds, the versioned-payload machinery must
+        fire at least once (stale fill dropped, stale install re-fetched,
+        or stale push undone) — otherwise these tests prove nothing
+        about the window."""
+        engaged = 0
+        for seed in REGRESSION_SEEDS:
+            system, result = _run_heavy(seed)
+            assert not result.aborted
+            for gpu in system.gpus:
+                engaged += gpu.stats.counter("stale_payload_drops").value
+                engaged += gpu.stats.counter("stale_install_races").value
+                engaged += gpu.stats.counter("stale_push_undone").value
+        assert engaged > 0, (
+            "heavy-loss runs exercised neither stale-fill drop nor "
+            "stale-push undo; the regression pin has gone vacuous"
+        )

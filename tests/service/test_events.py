@@ -1,0 +1,71 @@
+"""Event broker: sequencing, resumption, blocking waits, SSE frames."""
+
+import json
+import threading
+
+from repro.service.events import EventBroker, sse_format
+
+
+class TestSequencing:
+    def test_seqs_are_monotonic_per_job(self):
+        broker = EventBroker()
+        seqs = [broker.emit("j1", "tick") for _ in range(5)]
+        assert seqs == [1, 2, 3, 4, 5]
+        assert broker.emit("j2", "tick") == 1  # independent per job
+
+    def test_since_filters_already_seen_events(self):
+        broker = EventBroker()
+        for _ in range(4):
+            broker.emit("j1", "tick")
+        assert [e["seq"] for e in broker.since("j1", 2)] == [3, 4]
+        assert broker.since("j1", 99) == []
+        assert broker.since("unknown") == []
+
+    def test_capacity_drops_oldest_and_counts(self):
+        broker = EventBroker(capacity=3)
+        for _ in range(5):
+            broker.emit("j1", "tick")
+        kept = [e["seq"] for e in broker.since("j1")]
+        assert kept == [3, 4, 5]
+        assert broker.dropped("j1") == 2
+
+    def test_forget_releases_the_log(self):
+        broker = EventBroker()
+        broker.emit("j1", "tick")
+        broker.forget("j1")
+        assert broker.since("j1") == []
+
+
+class TestWaiting:
+    def test_wait_since_times_out_empty(self):
+        broker = EventBroker()
+        assert broker.wait_since("j1", 0, timeout=0.05) == []
+
+    def test_wait_since_wakes_on_emit(self):
+        broker = EventBroker()
+        got = []
+
+        def waiter():
+            got.extend(broker.wait_since("j1", 0, timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        broker.emit("j1", "done", detail="x")
+        thread.join(5.0)
+        assert [e["event"] for e in got] == ["done"]
+
+
+class TestSseFormat:
+    def test_frame_shape(self):
+        broker = EventBroker()
+        broker.emit("j1", "started", task="abc")
+        (event,) = broker.since("j1")
+        frame = sse_format(event).decode()
+        lines = frame.splitlines()
+        assert lines[0] == "id: 1"
+        assert lines[1] == "event: started"
+        assert lines[2].startswith("data: ")
+        assert frame.endswith("\n\n")
+        payload = json.loads(lines[2][len("data: "):])
+        assert payload["task"] == "abc"
+        assert payload["job"] == "j1"

@@ -1,0 +1,127 @@
+"""Job spec validation: strict at the door, journal-round-trippable."""
+
+import pytest
+
+from repro.experiments.cache import cache_key
+from repro.service.models import (
+    MAX_SWEEP_RUNS,
+    JobRecord,
+    JobSpec,
+    RunSpec,
+    SpecError,
+    new_job_id,
+)
+
+
+class TestRunValidation:
+    def test_minimal_run_spec(self):
+        spec = JobSpec.from_dict({"app": "KM"})
+        assert spec.kind == "run"
+        assert len(spec.runs) == 1
+        run = spec.runs[0]
+        assert run.app == "KM"
+        assert run.gpus == 4
+        # defaults mirror `repro run`: omitted spec field == omitted flag
+        assert run.scheme == "broadcast"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SpecError, match="unknown app"):
+            JobSpec.from_dict({"app": "NOPE"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown job spec field"):
+            JobSpec.from_dict({"app": "KM", "bogus": 1})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(SpecError, match="JSON object"):
+            JobSpec.from_dict([1, 2, 3])
+
+    @pytest.mark.parametrize("field,value", [
+        ("gpus", 0), ("gpus", 1000), ("lanes", 0), ("accesses", 0),
+        ("accesses", 10**9), ("seed", -1), ("scale", 0), ("scale", 1e9),
+    ])
+    def test_bounds_enforced(self, field, value):
+        with pytest.raises(SpecError):
+            JobSpec.from_dict({"app": "KM", field: value})
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(SpecError, match="integer"):
+            JobSpec.from_dict({"app": "KM", "gpus": True})
+
+    def test_bad_enum_values_rejected(self):
+        with pytest.raises(SpecError, match="unknown scheme"):
+            JobSpec.from_dict({"app": "KM", "scheme": "telepathy"})
+        with pytest.raises(SpecError, match="unknown policy"):
+            JobSpec.from_dict({"app": "KM", "policy": "vibes"})
+
+    def test_bad_fault_spec_is_a_spec_error(self):
+        with pytest.raises(SpecError, match="bad faults spec"):
+            JobSpec.from_dict({"app": "KM", "faults": "nonsense-preset"})
+
+    def test_chaos_trace_paths_rejected(self):
+        """A public job API must never dereference client paths."""
+        with pytest.raises(SpecError, match="trace"):
+            JobSpec.from_dict({"app": "KM", "faults": "trace=/etc/passwd"})
+
+
+class TestSweepValidation:
+    def test_top_level_fields_are_sweep_defaults(self):
+        spec = JobSpec.from_dict({
+            "kind": "sweep", "gpus": 2, "accesses": 100,
+            "runs": [{"app": "KM"}, {"app": "BS", "gpus": 8}],
+        })
+        assert [r.gpus for r in spec.runs] == [2, 8]
+        assert all(r.accesses == 100 for r in spec.runs)
+
+    def test_every_sweep_entry_is_validated(self):
+        with pytest.raises(SpecError, match="unknown app"):
+            JobSpec.from_dict({
+                "kind": "sweep",
+                "runs": [{"app": "KM"}, {"app": "NOPE"}],
+            })
+
+    def test_empty_or_missing_runs_rejected(self):
+        with pytest.raises(SpecError, match="runs"):
+            JobSpec.from_dict({"kind": "sweep"})
+        with pytest.raises(SpecError, match="runs"):
+            JobSpec.from_dict({"kind": "sweep", "runs": []})
+
+    def test_sweep_size_capped(self):
+        runs = [{"app": "KM", "seed": i} for i in range(MAX_SWEEP_RUNS + 1)]
+        with pytest.raises(SpecError, match="capped"):
+            JobSpec.from_dict({"kind": "sweep", "runs": runs})
+
+
+class TestJournalRoundTrip:
+    def test_to_dict_from_journal_is_identity(self):
+        spec = JobSpec.from_dict({
+            "kind": "sweep", "checkpoint_every": 5000,
+            "runs": [
+                {"app": "KM", "gpus": 2, "faults": "light,audit=5000"},
+                {"app": "BS", "scheme": "broadcast", "no_fastpath": True},
+            ],
+        })
+        assert JobSpec.from_journal(spec.to_dict()) == spec
+
+    def test_task_key_matches_cli_cache_key(self):
+        """The service's task key IS the runner's cache key — that
+        equality is what makes artifacts byte-equal to CLI runs."""
+        run = JobSpec.from_dict({"app": "KM", "gpus": 2, "seed": 11}).runs[0]
+        expected = cache_key(
+            "KM", run.to_config(), scale=1.0, lanes=run.lanes,
+            accesses_per_lane=run.accesses, seed=11,
+        )
+        assert run.task_key() == expected
+
+
+class TestJobRecord:
+    def test_job_ids_are_unique(self):
+        assert len({new_job_id() for _ in range(256)}) == 256
+
+    def test_quarantined_tasks_do_not_count_as_done(self):
+        spec = JobSpec.from_dict({"app": "KM"})
+        record = JobRecord(id="j1", spec=spec)
+        record.tasks = {"k1": "quarantined", "k2": "done", "k3": None}
+        doc = record.to_dict()
+        assert doc["tasks"] == {"total": 3, "done": 1}
+        assert record.pending_tasks() == ["k3"]

@@ -1,0 +1,67 @@
+"""Admission queue: bound, recovery override, Retry-After derivation."""
+
+import pytest
+
+from repro.service.queue import AdmissionQueue
+
+
+class TestBound:
+    def test_fifo_within_limit(self):
+        q = AdmissionQueue(3, 1)
+        assert all(q.offer(j) for j in ("a", "b", "c"))
+        assert q.depth() == 3
+        assert [q.take(), q.take(), q.take()] == ["a", "b", "c"]
+        assert q.take() is None
+
+    def test_offer_beyond_limit_refused_and_counted(self):
+        q = AdmissionQueue(2, 1)
+        assert q.offer("a") and q.offer("b")
+        assert not q.offer("c")
+        assert not q.offer("d")
+        assert q.rejected == 2
+        assert q.snapshot() == ["a", "b"]
+
+    def test_force_overrides_the_bound(self):
+        """Crash recovery re-admits journaled jobs even past the limit:
+        'no accepted job is ever lost' outranks the bound."""
+        q = AdmissionQueue(1, 1)
+        assert q.offer("a")
+        assert q.offer("recovered", force=True)
+        assert q.depth() == 2
+
+    def test_requeue_front_outranks_queued_jobs(self):
+        q = AdmissionQueue(4, 1)
+        q.offer("queued-1")
+        q.requeue_front("was-running")
+        assert q.take() == "was-running"
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0, 1)
+        with pytest.raises(ValueError):
+            AdmissionQueue(1, 0)
+
+
+class TestRetryAfter:
+    def test_scales_with_depth_and_workers(self):
+        q = AdmissionQueue(10, 2, default_service_time=30.0)
+        empty = q.retry_after()  # (0+1)*30/2 = 15
+        assert empty == 15
+        for j in "abcd":
+            q.offer(j)
+        assert q.retry_after() == 75  # (4+1)*30/2
+
+    def test_ewma_tracks_observed_service_times(self):
+        q = AdmissionQueue(10, 1, default_service_time=30.0, ewma_alpha=0.5)
+        q.note_service_time(10.0)
+        assert q.service_time() == pytest.approx(20.0)
+        q.note_service_time(10.0)
+        assert q.service_time() == pytest.approx(15.0)
+        q.note_service_time(-1.0)  # nonsense samples are ignored
+        assert q.service_time() == pytest.approx(15.0)
+
+    def test_hint_is_clamped(self):
+        q = AdmissionQueue(10, 1, default_service_time=0.001)
+        assert q.retry_after() == 1  # floor
+        slow = AdmissionQueue(10, 1, default_service_time=1e6)
+        assert slow.retry_after() == 3600  # ceiling
